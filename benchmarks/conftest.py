@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper: it runs
+the relevant kernels through ``pytest-benchmark`` (so regeneration time is
+tracked) and prints the regenerated rows next to the values the paper
+reports, which is the data EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def print_comparison(title: str, rows: Mapping[str, Mapping[str, float]]) -> None:
+    """Print measured-vs-paper rows for one experiment."""
+    print(f"\n=== {title} ===")
+    width = max((len(name) for name in rows), default=10)
+    for name, values in rows.items():
+        measured = values.get("measured")
+        paper = values.get("paper")
+        if paper is None:
+            print(f"  {name:<{width}}  measured={measured:.2f}")
+        else:
+            print(f"  {name:<{width}}  measured={measured:8.2f}   paper={paper:8.2f}")
+
+
+def print_series(title: str, series: Mapping[str, Mapping[str, float]]) -> None:
+    """Print a per-design breakdown series (figure-style data)."""
+    print(f"\n=== {title} ===")
+    for design, parts in series.items():
+        formatted = ", ".join(f"{key}={value:.2f}" for key, value in parts.items())
+        print(f"  {design}: {formatted}")

@@ -1,0 +1,52 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper table/figure per se: these isolate the individual mechanisms the
+paper credits for Virgo's advantage (operation granularity, accumulator
+placement, unified unit, asynchronous interface).
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.ablations import (
+    accumulator_placement_ablation,
+    async_interface_ablation,
+    granularity_ablation,
+    unified_unit_ablation,
+)
+
+
+def test_bench_ablation_granularity(benchmark):
+    results = benchmark.pedantic(granularity_ablation, rounds=1, iterations=1)
+    rows = {
+        entry["tile"]: {"measured": entry["mac_utilization_percent"]} for entry in results
+    }
+    print_comparison("Ablation: Virgo operation-tile granularity (MAC util %)", rows)
+    # Shrinking the operation tile must not improve utilization and must
+    # increase the command/instruction count.
+    assert results[0]["mac_utilization_percent"] >= results[-1]["mac_utilization_percent"]
+    assert results[-1]["retired_instructions"] > results[0]["retired_instructions"]
+
+
+def test_bench_ablation_accumulator_placement(benchmark):
+    result = benchmark.pedantic(accumulator_placement_ablation, rounds=1, iterations=1)
+    rows = {key: {"measured": value} for key, value in result.items()}
+    print_comparison("Ablation: accumulator in private SRAM vs RF-class storage", rows)
+    assert result["energy_increase_percent"] > 0
+
+
+def test_bench_ablation_unified_unit(benchmark):
+    result = benchmark.pedantic(unified_unit_ablation, rounds=1, iterations=1)
+    rows = {key: {"measured": value} for key, value in result.items()}
+    print_comparison("Ablation: unified cluster unit vs per-core units (SMEM footprint)", rows)
+    assert result["per_core_mib"] > result["unified_mib"]
+
+
+def test_bench_ablation_async_interface(benchmark):
+    result = benchmark.pedantic(async_interface_ablation, rounds=1, iterations=1)
+    rows = {key: {"measured": value} for key, value in result.items()}
+    print_comparison("Ablation: asynchronous interface + software pipelining", rows)
+    assert (
+        result["asynchronous_utilization_percent"]
+        > result["synchronous_utilization_percent"]
+    )
+    assert result["speedup_from_async_pipelining"] > 1.1

@@ -1,0 +1,21 @@
+"""E8 -- Figure 10: active power breakdown within the Vortex SIMT core."""
+
+from conftest import print_series
+
+from repro.analysis.figures import figure10_core_power_breakdown
+
+
+def test_bench_fig10_core_power_breakdown(benchmark):
+    breakdown = benchmark.pedantic(
+        lambda: figure10_core_power_breakdown(size=1024), rounds=1, iterations=1
+    )
+    print_series("Figure 10: core active power breakdown (mW), GEMM 1024^3", breakdown)
+
+    # Issue-stage power (instruction processing + RF reads) dominates the
+    # tightly-coupled designs and nearly vanishes for Virgo.
+    for design in ("Volta-style", "Ampere-style"):
+        core_parts = {k: v for k, v in breakdown[design].items() if k.startswith("Core:")}
+        assert max(core_parts, key=core_parts.get) == "Core: Issue"
+    assert breakdown["Virgo"]["Core: Issue"] < 0.1 * breakdown["Ampere-style"]["Core: Issue"]
+    # Hopper still pays issue-stage power for its register-file accumulators.
+    assert breakdown["Hopper-style"]["Core: Issue"] > breakdown["Virgo"]["Core: Issue"]

@@ -1,0 +1,28 @@
+"""E9 -- Figure 11: matrix-unit active energy breakdown for the 1024^3 GEMM."""
+
+from conftest import print_series
+
+from repro.analysis.figures import figure11_matrix_unit_energy
+
+
+def test_bench_fig11_matrix_unit_energy(benchmark):
+    breakdown = benchmark.pedantic(
+        lambda: figure11_matrix_unit_energy(size=1024), rounds=1, iterations=1
+    )
+    print_series("Figure 11: matrix-unit active energy breakdown (uJ), GEMM 1024^3", breakdown)
+
+    # PE energy is similar across designs (same FLOPs), Virgo slightly lower
+    # thanks to fused multiply-add PEs.
+    ampere_pe = breakdown["Ampere-style"]["PEs"]
+    hopper_pe = breakdown["Hopper-style"]["PEs"]
+    virgo_pe = breakdown["Virgo"]["PEs"]
+    assert abs(ampere_pe - hopper_pe) / hopper_pe < 0.2
+    assert virgo_pe < ampere_pe
+    assert virgo_pe > 0.7 * ampere_pe
+    # Only Virgo's unit contains an accumulator memory and an SMEM interface.
+    assert breakdown["Virgo"]["Accum Mem"] > 0
+    assert breakdown["Virgo"]["SMEM Interface"] > 0
+    assert breakdown["Ampere-style"]["Accum Mem"] == 0
+    # The tightly-coupled units stage operands/results in buffers instead.
+    assert breakdown["Ampere-style"]["Operand Buffer"] > 0
+    assert breakdown["Ampere-style"]["Result Buffer"] > 0

@@ -1,0 +1,39 @@
+"""E10 -- Figure 12 + Section 6.2: FlashAttention-3 power, energy and utilization."""
+
+from conftest import print_comparison, print_series
+
+from repro.analysis.figures import figure12_flash_attention
+from repro.analysis.report import PAPER_VALUES
+
+
+def test_bench_fig12_flash_attention(benchmark):
+    data = benchmark.pedantic(figure12_flash_attention, rounds=1, iterations=1)
+    paper = PAPER_VALUES["flash_attention"]
+
+    rows = {
+        "Virgo utilization %": {
+            "measured": data["Virgo"]["mac_utilization_percent"],
+            "paper": paper["virgo_mac_utilization_percent"],
+        },
+        "Ampere utilization %": {
+            "measured": data["Ampere-style"]["mac_utilization_percent"],
+            "paper": paper["ampere_mac_utilization_percent"],
+        },
+        "Energy reduction %": {
+            "measured": 100.0
+            * (1.0 - data["Virgo"]["active_energy_uj"] / data["Ampere-style"]["active_energy_uj"]),
+            "paper": paper["energy_reduction_percent"],
+        },
+    }
+    print_comparison("FlashAttention-3 (seq 1024, head dim 64)", rows)
+    print_series(
+        "Figure 12: FlashAttention-3 power breakdown (mW)",
+        {name: values["power_breakdown_mw"] for name, values in data.items()},
+    )
+
+    assert (
+        data["Virgo"]["mac_utilization_percent"]
+        > 1.4 * data["Ampere-style"]["mac_utilization_percent"]
+    )
+    assert data["Virgo"]["active_energy_uj"] < data["Ampere-style"]["active_energy_uj"]
+    assert data["Virgo"]["active_power_mw"] < data["Ampere-style"]["active_power_mw"]

@@ -1,0 +1,18 @@
+"""E5 -- Figure 7: SoC area breakdown of the evaluated designs."""
+
+from conftest import print_series
+
+from repro.analysis.figures import figure7_area_breakdown
+
+
+def test_bench_fig7_area_breakdown(benchmark):
+    areas = benchmark(figure7_area_breakdown)
+    print_series("Figure 7: SoC area breakdown (um^2)", areas)
+
+    totals = {name: sum(parts.values()) for name, parts in areas.items()}
+    # Paper: Virgo is within 0.1% of Volta-style; our density model keeps the
+    # two same-core-count designs within a few percent.
+    assert abs(totals["Virgo"] - totals["Volta-style"]) / totals["Volta-style"] < 0.15
+    # Only Virgo spends area on the accumulator memory.
+    assert areas["Virgo"]["Accum Mem"] > 0
+    assert areas["Volta-style"]["Accum Mem"] == 0

@@ -1,0 +1,34 @@
+"""E6 -- Figure 8: active power and energy of the GEMM kernels (512^3 and 1024^3)."""
+
+import pytest
+from conftest import print_series
+
+from repro.analysis.figures import figure8_power_energy, gemm_power_reduction
+from repro.analysis.report import PAPER_VALUES
+
+
+@pytest.mark.parametrize("size", (512, 1024))
+def test_bench_fig8_power_energy(benchmark, size):
+    data = benchmark.pedantic(lambda: figure8_power_energy(sizes=(size,)), rounds=1, iterations=1)
+    print_series(f"Figure 8: GEMM {size}^3 active power (mW) / energy (mJ)", data[size])
+
+    virgo = data[size]["Virgo"]
+    ampere = data[size]["Ampere-style"]
+    hopper = data[size]["Hopper-style"]
+    assert virgo["active_power_mw"] < hopper["active_power_mw"] < ampere["active_power_mw"]
+    assert virgo["active_energy_mj"] < hopper["active_energy_mj"] < ampere["active_energy_mj"]
+
+
+def test_bench_headline_reductions(benchmark):
+    reductions = benchmark.pedantic(gemm_power_reduction, rounds=1, iterations=1)
+    paper = PAPER_VALUES["headline_reductions_percent"]
+    rows = {
+        key: {"measured": value, "paper": paper[key]} for key, value in reductions.items()
+    }
+    from conftest import print_comparison
+
+    print_comparison("Headline power/energy reductions, GEMM 1024^3 (%)", rows)
+    assert reductions["power_reduction_vs_ampere_percent"] > 45
+    assert reductions["power_reduction_vs_hopper_percent"] > 10
+    assert reductions["energy_reduction_vs_ampere_percent"] > 65
+    assert reductions["energy_reduction_vs_hopper_percent"] > 15

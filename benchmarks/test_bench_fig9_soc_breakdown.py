@@ -1,0 +1,21 @@
+"""E7 -- Figure 9: SoC active power breakdown for the 1024^3 GEMM."""
+
+from conftest import print_series
+
+from repro.analysis.figures import figure9_soc_power_breakdown
+
+
+def test_bench_fig9_soc_power_breakdown(benchmark):
+    breakdown = benchmark.pedantic(
+        lambda: figure9_soc_power_breakdown(size=1024), rounds=1, iterations=1
+    )
+    print_series("Figure 9: SoC active power breakdown (mW), GEMM 1024^3", breakdown)
+
+    # The Vortex core dominates the core-coupled designs and collapses in Virgo.
+    for design in ("Volta-style", "Ampere-style"):
+        parts = breakdown[design]
+        assert parts["Vortex Core"] == max(parts.values())
+    assert breakdown["Virgo"]["Vortex Core"] < 0.2 * breakdown["Ampere-style"]["Vortex Core"]
+    # Only Virgo has accumulator-memory power.
+    assert breakdown["Virgo"]["Accum Mem"] > 0
+    assert breakdown["Hopper-style"]["Accum Mem"] == 0

@@ -1,0 +1,26 @@
+"""E12 -- Section 4.5.1: synchronization (fence polling) overhead in FlashAttention-3."""
+
+from conftest import print_comparison
+
+from repro.analysis.report import PAPER_VALUES
+from repro.config.presets import DesignKind
+from repro.kernels.flash_attention import simulate_flash_attention
+
+
+def test_bench_sec451_synchronization_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: simulate_flash_attention(DesignKind.VIRGO), rounds=1, iterations=1
+    )
+    paper = PAPER_VALUES["flash_attention"]
+    rows = {
+        "fence poll cycles / iteration": {
+            "measured": result.fence_poll_cycles_avg,
+            "paper": paper["fence_poll_cycles"],
+        },
+        "fence overhead % of runtime": {
+            "measured": 100.0 * result.fence_overhead_fraction,
+            "paper": paper["fence_overhead_percent"],
+        },
+    }
+    print_comparison("Section 4.5.1: virgo_fence overhead", rows)
+    assert result.fence_overhead_fraction < 0.08

@@ -1,0 +1,28 @@
+"""E13 -- Section 6.1.1: retired-instruction comparison across designs."""
+
+from conftest import print_comparison
+
+from repro.config.presets import DesignKind
+from repro.kernels.gemm import simulate_gemm
+
+
+def test_bench_sec611_instruction_counts(benchmark):
+    def run():
+        return {kind: simulate_gemm(kind, 1024) for kind in DesignKind}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    virgo = results[DesignKind.VIRGO].retired_instructions
+    rows = {
+        "Virgo / Volta-style instruction ratio %": {
+            "measured": 100.0 * virgo / results[DesignKind.VOLTA].retired_instructions,
+            "paper": 0.5,
+        },
+        "Virgo / Hopper-style instruction ratio %": {
+            "measured": 100.0 * virgo / results[DesignKind.HOPPER].retired_instructions,
+            "paper": 8.0,
+        },
+    }
+    print_comparison("Section 6.1.1: retired instructions, GEMM 1024^3", rows)
+
+    assert virgo / results[DesignKind.VOLTA].retired_instructions < 0.02
+    assert virgo / results[DesignKind.HOPPER].retired_instructions < 0.20

@@ -1,0 +1,22 @@
+"""E11 -- Section 6.3: two heterogeneous matrix units in one cluster."""
+
+from conftest import print_comparison
+
+from repro.analysis.report import PAPER_VALUES
+from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heterogeneous
+
+
+def test_bench_sec63_heterogeneous_units(benchmark):
+    result = benchmark.pedantic(simulate_heterogeneous, rounds=1, iterations=1)
+    summary = heterogeneous_summary(result)
+    paper = PAPER_VALUES["heterogeneous"]
+    rows = {
+        key: {"measured": value, "paper": paper.get(key)}
+        for key, value in summary.items()
+        if key in paper
+    }
+    print_comparison("Section 6.3: heterogeneous dual matrix units", rows)
+
+    assert result.parallel_cycles < result.serial_cycles
+    assert abs(result.parallel_utilization - result.serial_utilization) < 0.15
+    assert result.power_per_flop_increase() < 0.10

@@ -1,0 +1,19 @@
+"""E1 -- Table 1: GPU scaling trends and CUTLASS kernel occupancy."""
+
+from conftest import print_comparison
+
+from repro.analysis.tables import table1_scaling_trends
+
+PAPER_OCCUPANCY = {"V100": 12.5, "A100": 10.0, "H100": 14.1}
+
+
+def test_bench_table1_occupancy(benchmark):
+    table = benchmark(table1_scaling_trends)
+    rows = {
+        gpu: {"measured": data["occupancy_percent"], "paper": PAPER_OCCUPANCY[gpu]}
+        for gpu, data in table.items()
+    }
+    print_comparison("Table 1: CUTLASS GEMM warp occupancy (%)", rows)
+    for gpu, data in table.items():
+        assert data["limiting_factor"] == "registers"
+        assert 5.0 <= data["occupancy_percent"] <= 25.0

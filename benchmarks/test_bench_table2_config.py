@@ -1,0 +1,25 @@
+"""E2 -- Table 2: hardware configuration of the evaluated GPU designs."""
+
+from conftest import print_series
+
+from repro.analysis.tables import table2_hardware_configuration
+
+
+def test_bench_table2_hardware_configuration(benchmark):
+    table = benchmark(table2_hardware_configuration)
+    numeric = {
+        name: {
+            key: float(value)
+            for key, value in row.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        for name, row in table.items()
+    }
+    print_series("Table 2: hardware configuration", numeric)
+
+    # Every cluster exposes 256 FP16 MACs/cycle (the fair-comparison constraint).
+    for row in table.values():
+        assert row["macs_per_cluster"] == 256
+    assert table["Virgo"]["tile"] == "128x64x128"
+    assert table["Hopper-style"]["tile"] == "16x16x32"
+    assert table["Volta-style"]["has_dma"] is False

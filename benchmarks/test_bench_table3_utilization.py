@@ -1,0 +1,35 @@
+"""E3 -- Table 3: MAC utilization of the GEMM kernel across designs and sizes."""
+
+import pytest
+from conftest import print_comparison
+
+from repro.analysis.report import PAPER_VALUES
+from repro.config.presets import DesignKind
+from repro.runner import run_gemm
+
+SIZES = (256, 512, 1024)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_table3_gemm_utilization(benchmark, size):
+    def run_all():
+        return {kind: run_gemm(kind, size) for kind in DesignKind}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    paper = PAPER_VALUES["table3_mac_utilization_percent"]
+    rows = {
+        kind.display_name: {
+            "measured": result.mac_utilization_percent,
+            "paper": paper[f"{kind.display_name}_{size}"],
+        }
+        for kind, result in results.items()
+    }
+    print_comparison(f"Table 3: MAC utilization (%), GEMM {size}^3", rows)
+
+    # The paper's qualitative result: Virgo >= Hopper > Ampere > Volta.
+    assert (
+        results[DesignKind.VIRGO].mac_utilization
+        >= results[DesignKind.HOPPER].mac_utilization
+        > results[DesignKind.AMPERE].mac_utilization
+        > results[DesignKind.VOLTA].mac_utilization
+    )

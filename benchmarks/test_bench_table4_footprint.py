@@ -1,0 +1,19 @@
+"""E4 -- Table 4: shared-memory read footprint of the 256^3 GEMM."""
+
+from conftest import print_comparison
+
+from repro.analysis.report import PAPER_VALUES
+from repro.analysis.tables import table4_smem_footprint
+
+
+def test_bench_table4_smem_footprint(benchmark):
+    table = benchmark(table4_smem_footprint)
+    paper = PAPER_VALUES["table4_smem_footprint_mib"]
+    rows = {
+        name: {"measured": data["mib"], "paper": paper[name]} for name, data in table.items()
+    }
+    print_comparison("Table 4: shared-memory read footprint (MiB), GEMM 256^3", rows)
+
+    assert table["Tightly-coupled"]["mib"] > table["Operand-decoupled"]["mib"]
+    assert table["Operand-decoupled"]["mib"] > table["Disaggregated"]["mib"]
+    assert abs(table["Disaggregated"]["normalized"] - 1.0) < 1e-9

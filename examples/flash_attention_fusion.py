@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""FlashAttention-3 on Virgo vs the Ampere-style baseline (Sections 4.5 and 6.2).
+
+The example first verifies the functional algorithm (blocked online softmax
+with the 2nd-order Taylor exponential the paper substitutes on Vortex)
+against exact attention, then compares the Virgo and Ampere-style mappings in
+utilization, power and energy.
+
+Run with:  python examples/flash_attention_fusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DesignKind, run_flash_attention
+from repro.kernels.flash_attention import (
+    FlashAttentionWorkload,
+    attention_reference,
+    flash_attention_reference,
+)
+
+
+def verify_numerics() -> None:
+    rng = np.random.default_rng(7)
+    seq, head_dim = 256, 64
+    q = rng.standard_normal((seq, head_dim)).astype(np.float32)
+    k = rng.standard_normal((seq, head_dim)).astype(np.float32)
+    v = rng.standard_normal((seq, head_dim)).astype(np.float32)
+
+    exact = attention_reference(q, k, v)
+    blocked = flash_attention_reference(q, k, v, block_q=64, block_kv=64)
+    taylor = flash_attention_reference(q, k, v, block_q=64, block_kv=64, use_taylor_exp=True)
+
+    print("== Functional verification (seq 256, head dim 64) ==")
+    print(f"  blocked online softmax vs exact:   max |err| = {np.abs(blocked - exact).max():.2e}")
+    print(f"  2nd-order Taylor exp vs exact:     max |err| = {np.abs(taylor - exact).max():.2e}")
+
+
+def compare_mappings() -> None:
+    workload = FlashAttentionWorkload(seq_len=1024, head_dim=64)
+    print("\n== FlashAttention-3 forward pass (seq 1024, head dim 64, FP32) ==")
+    print(f"{'design':<14} {'cycles':>12} {'MAC util %':>11} {'power mW':>10} {'energy uJ':>11}")
+    results = {}
+    for kind in (DesignKind.AMPERE, DesignKind.VIRGO):
+        run = run_flash_attention(kind, workload)
+        results[kind] = run
+        print(
+            f"{run.design_name:<14} {run.total_cycles:>12,} "
+            f"{run.mac_utilization_percent:>11.1f} {run.active_power_mw:>10.1f} "
+            f"{run.active_energy_uj:>11.1f}"
+        )
+
+    virgo = results[DesignKind.VIRGO]
+    ampere = results[DesignKind.AMPERE]
+    print(
+        f"\nVirgo fences+barriers keep the matrix unit, the DMA and the SIMT softmax"
+        f" overlapped;\nfence polling is "
+        f"{100 * virgo.kernel.fence_overhead_fraction:.1f}% of runtime "
+        f"(paper: 2.4%), and energy drops by "
+        f"{100 * (1 - virgo.active_energy_uj / ampere.active_energy_uj):.1f}% "
+        f"(paper: 50.6%)."
+    )
+
+
+def main() -> None:
+    verify_numerics()
+    compare_mappings()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Design-space exploration: regenerate Table 3 and the Figure 8/9/10 data series.
+
+The script sweeps the paper's three GEMM sizes across the four integration
+styles, prints the MAC-utilization table, the power/energy comparison and the
+SoC/core power breakdowns, and shows how to explore a non-preset design point
+(a Virgo cluster with a 32x32 systolic array).
+
+Run with:  python examples/gemm_design_space.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import DesignKind, run_gemm
+from repro.analysis.tables import format_table
+from repro.config.presets import virgo
+from repro.kernels.gemm import GEMM_SIZES
+
+
+def sweep_presets() -> None:
+    print("== Table 3: MAC utilization (%) ==")
+    headers = ["design"] + [f"{size}^3" for size in GEMM_SIZES]
+    rows = []
+    for kind in DesignKind:
+        row = [kind.display_name]
+        for size in GEMM_SIZES:
+            row.append(f"{run_gemm(kind, size).mac_utilization_percent:.1f}")
+        rows.append(row)
+    print(format_table(headers, rows))
+
+    print("\n== Figure 8/9: power, energy and dominant component (1024^3) ==")
+    headers = ["design", "power mW", "energy uJ", "dominant component"]
+    rows = []
+    for kind in DesignKind:
+        run = run_gemm(kind, 1024)
+        rows.append(
+            [
+                kind.display_name,
+                f"{run.active_power_mw:.1f}",
+                f"{run.active_energy_uj:.1f}",
+                run.soc_breakdown().dominant_component(),
+            ]
+        )
+    print(format_table(headers, rows))
+
+    print("\n== Figure 10: core issue-stage power (mW equivalent, 1024^3) ==")
+    for kind in DesignKind:
+        run = run_gemm(kind, 1024)
+        breakdown = run.core_breakdown()
+        seconds = run.total_cycles / (run.design.soc.clock_mhz * 1e6)
+        issue_mw = breakdown.parts_pj["Core: Issue"] * 1e-12 / seconds * 1e3
+        print(f"  {kind.display_name:<14} issue stage: {issue_mw:8.2f} mW")
+
+
+def explore_scaled_virgo() -> None:
+    """Scale the Virgo systolic array up and watch utilization and power."""
+    print("\n== Scaling the Virgo matrix unit (1024^3 GEMM) ==")
+    base = virgo()
+    headers = ["mesh", "MACs/cycle", "SMEM B/cycle", "MAC util %", "power mW"]
+    rows = []
+    for mesh in (8, 16, 32):
+        unit = replace(
+            base.matrix_unit,
+            systolic_rows=mesh,
+            systolic_cols=mesh,
+            macs_per_cycle=mesh * mesh,
+            tile_m=8 * mesh,
+            tile_n=4 * mesh,
+            tile_k=8 * mesh,
+        )
+        # The paper's memory system is parameterized: scaling the unit up also
+        # widens the shared-memory port feeding it (more subbanks per bank),
+        # otherwise operand streaming becomes the bottleneck.
+        smem = replace(base.soc.cluster.shared_memory, subbanks=max(4, mesh // 2))
+        cluster = replace(base.soc.cluster, matrix_unit=unit, shared_memory=smem)
+        design = replace(base, soc=replace(base.soc, cluster=cluster))
+        run = run_gemm(design, 1024)
+        rows.append(
+            [
+                f"{mesh}x{mesh}",
+                str(mesh * mesh),
+                str(smem.bank_width_bytes),
+                f"{run.mac_utilization_percent:.1f}",
+                f"{run.active_power_mw:.1f}",
+            ]
+        )
+    print(format_table(headers, rows))
+    print("With the memory system scaled alongside the mesh, cluster-level integration")
+    print("keeps utilization high as the unit grows -- the register file never becomes")
+    print("the limiter, which is exactly the scalability argument of the paper.")
+
+
+def main() -> None:
+    sweep_presets()
+    explore_scaled_virgo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one GEMM on all four designs and print the headline metrics.
+
+Run with:  python examples/quickstart.py [size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DesignKind, run_gemm
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+
+    print(f"GEMM {size}x{size}x{size} (FP16) on one GPU cluster, 400 MHz")
+    print(f"{'design':<14} {'cycles':>12} {'MAC util %':>11} {'power mW':>10} "
+          f"{'energy uJ':>11} {'instructions':>14}")
+    for kind in DesignKind:
+        run = run_gemm(kind, size)
+        print(
+            f"{run.design_name:<14} {run.total_cycles:>12,} "
+            f"{run.mac_utilization_percent:>11.1f} {run.active_power_mw:>10.1f} "
+            f"{run.active_energy_uj:>11.1f} {run.retired_instructions:>14,}"
+        )
+
+    virgo = run_gemm(DesignKind.VIRGO, size)
+    ampere = run_gemm(DesignKind.AMPERE, size)
+    reduction = 100.0 * (1.0 - virgo.active_power_mw / ampere.active_power_mw)
+    print(f"\nVirgo reduces active power by {reduction:.1f}% vs the Ampere-style baseline "
+          f"(paper: 67.3% at 1024^3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment's setuptools lacks the ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  Keeping a setup.py lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on setups that have wheel) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

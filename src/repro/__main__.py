@@ -1,0 +1,164 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Examples
+--------
+    python -m repro gemm --design virgo --size 1024
+    python -m repro gemm --all-designs --size 512
+    python -m repro flash
+    python -m repro table --number 3
+    python -m repro compare          # full paper-vs-measured report
+    python -m repro hetero
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.figures import (
+    figure7_area_breakdown,
+    figure8_power_energy,
+    figure9_soc_power_breakdown,
+    figure10_core_power_breakdown,
+    figure11_matrix_unit_energy,
+    figure12_flash_attention,
+)
+from repro.analysis.report import paper_comparison
+from repro.analysis.tables import (
+    format_table,
+    table1_scaling_trends,
+    table2_hardware_configuration,
+    table3_mac_utilization,
+    table4_smem_footprint,
+)
+from repro.config.presets import DesignKind
+from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heterogeneous
+from repro.runner import run_flash_attention, run_gemm
+
+
+def _design_from_name(name: str) -> DesignKind:
+    try:
+        return DesignKind(name.lower())
+    except ValueError as error:
+        valid = ", ".join(kind.value for kind in DesignKind)
+        raise SystemExit(f"unknown design {name!r}; choose one of: {valid}") from error
+
+
+def _cmd_gemm(args: argparse.Namespace) -> None:
+    kinds = list(DesignKind) if args.all_designs else [_design_from_name(args.design)]
+    headers = ["design", "cycles", "MAC util %", "power mW", "energy uJ", "instructions"]
+    rows = []
+    for kind in kinds:
+        run = run_gemm(kind, args.size)
+        rows.append(
+            [
+                run.design_name,
+                f"{run.total_cycles:,}",
+                f"{run.mac_utilization_percent:.1f}",
+                f"{run.active_power_mw:.1f}",
+                f"{run.active_energy_uj:.1f}",
+                f"{run.retired_instructions:,}",
+            ]
+        )
+    print(f"GEMM {args.size}^3 (FP16)")
+    print(format_table(headers, rows))
+
+
+def _cmd_flash(args: argparse.Namespace) -> None:
+    headers = ["design", "cycles", "MAC util %", "power mW", "energy uJ"]
+    rows = []
+    for kind in (DesignKind.AMPERE, DesignKind.VIRGO):
+        run = run_flash_attention(kind)
+        rows.append(
+            [
+                run.design_name,
+                f"{run.total_cycles:,}",
+                f"{run.mac_utilization_percent:.1f}",
+                f"{run.active_power_mw:.1f}",
+                f"{run.active_energy_uj:.1f}",
+            ]
+        )
+    print("FlashAttention-3 forward (seq 1024, head dim 64, FP32)")
+    print(format_table(headers, rows))
+
+
+def _cmd_table(args: argparse.Namespace) -> None:
+    number = args.number
+    if number == 1:
+        data = table1_scaling_trends()
+    elif number == 2:
+        data = table2_hardware_configuration()
+    elif number == 3:
+        data = table3_mac_utilization()
+    elif number == 4:
+        data = table4_smem_footprint()
+    else:
+        raise SystemExit("the paper has tables 1 through 4")
+    print(json.dumps(data, indent=2, default=str))
+
+
+def _cmd_figure(args: argparse.Namespace) -> None:
+    generators = {
+        7: figure7_area_breakdown,
+        8: figure8_power_energy,
+        9: figure9_soc_power_breakdown,
+        10: figure10_core_power_breakdown,
+        11: figure11_matrix_unit_energy,
+        12: figure12_flash_attention,
+    }
+    if args.number not in generators:
+        raise SystemExit("evaluation figures are 7 through 12")
+    print(json.dumps(generators[args.number](), indent=2, default=str))
+
+
+def _cmd_compare(_: argparse.Namespace) -> None:
+    print(json.dumps(paper_comparison(), indent=2))
+
+
+def _cmd_hetero(_: argparse.Namespace) -> None:
+    summary = heterogeneous_summary(simulate_heterogeneous())
+    print(json.dumps(summary, indent=2))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Virgo (ASPLOS 2025) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gemm = sub.add_parser("gemm", help="simulate a square GEMM")
+    gemm.add_argument("--design", default="virgo", help="volta | ampere | hopper | virgo")
+    gemm.add_argument("--size", type=int, default=512)
+    gemm.add_argument("--all-designs", action="store_true")
+    gemm.set_defaults(func=_cmd_gemm)
+
+    flash = sub.add_parser("flash", help="simulate FlashAttention-3 (Virgo vs Ampere-style)")
+    flash.set_defaults(func=_cmd_flash)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("--number", type=int, required=True)
+    table.set_defaults(func=_cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure's data series")
+    figure.add_argument("--number", type=int, required=True)
+    figure.set_defaults(func=_cmd_figure)
+
+    compare = sub.add_parser("compare", help="full paper-vs-measured comparison (JSON)")
+    compare.set_defaults(func=_cmd_compare)
+
+    hetero = sub.add_parser("hetero", help="Section 6.3 heterogeneous dual-unit experiment")
+    hetero.set_defaults(func=_cmd_hetero)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Experiment drivers and report formatting for every paper table and figure."""
+
+from repro.analysis.tables import (
+    table1_scaling_trends,
+    table2_hardware_configuration,
+    table3_mac_utilization,
+    table4_smem_footprint,
+    format_table,
+)
+from repro.analysis.figures import (
+    figure7_area_breakdown,
+    figure8_power_energy,
+    figure9_soc_power_breakdown,
+    figure10_core_power_breakdown,
+    figure11_matrix_unit_energy,
+    figure12_flash_attention,
+)
+from repro.analysis.report import paper_comparison, PAPER_VALUES
+from repro.analysis.ablations import (
+    granularity_ablation,
+    accumulator_placement_ablation,
+    unified_unit_ablation,
+    async_interface_ablation,
+    run_all_ablations,
+)
+from repro.analysis.sweeps import (
+    mesh_scaling_sweep,
+    cluster_scaling_sweep,
+    dma_bandwidth_sweep,
+)
+
+__all__ = [
+    "granularity_ablation",
+    "accumulator_placement_ablation",
+    "unified_unit_ablation",
+    "async_interface_ablation",
+    "run_all_ablations",
+    "mesh_scaling_sweep",
+    "cluster_scaling_sweep",
+    "dma_bandwidth_sweep",
+    "table1_scaling_trends",
+    "table2_hardware_configuration",
+    "table3_mac_utilization",
+    "table4_smem_footprint",
+    "format_table",
+    "figure7_area_breakdown",
+    "figure8_power_energy",
+    "figure9_soc_power_breakdown",
+    "figure10_core_power_breakdown",
+    "figure11_matrix_unit_energy",
+    "figure12_flash_attention",
+    "paper_comparison",
+    "PAPER_VALUES",
+]

@@ -1,0 +1,118 @@
+"""Regeneration of the paper's evaluation figures (7 through 12).
+
+Each function returns the data series the corresponding figure plots (no
+plotting dependency is required); the benchmark harness prints them and
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.config.presets import DesignKind, gemm_design_kinds, make_design
+from repro.energy.area import soc_area_breakdown
+from repro.kernels.flash_attention import FlashAttentionWorkload
+from repro.runner import run_all_gemm_designs, run_flash_attention, run_gemm
+
+
+def figure7_area_breakdown() -> Dict[str, Dict[str, float]]:
+    """Figure 7: SoC area breakdown (um^2) of Volta-style, Hopper-style and Virgo."""
+    kinds = [DesignKind.VOLTA, DesignKind.HOPPER, DesignKind.VIRGO]
+    return {
+        kind.display_name: soc_area_breakdown(make_design(kind)) for kind in kinds
+    }
+
+
+def figure8_power_energy(sizes: Sequence[int] = (512, 1024)) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Figure 8: active power (mW) and energy (mJ) per design for 512^3 and 1024^3 GEMM."""
+    result: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for size in sizes:
+        runs = run_all_gemm_designs(size)
+        result[size] = {
+            kind.display_name: {
+                "active_power_mw": run.active_power_mw,
+                "active_energy_mj": run.power.total_energy_mj,
+                "cycles": run.total_cycles,
+            }
+            for kind, run in runs.items()
+        }
+    return result
+
+
+def figure9_soc_power_breakdown(size: int = 1024) -> Dict[str, Dict[str, float]]:
+    """Figure 9: SoC active power breakdown (mW) by component for the 1024^3 GEMM."""
+    runs = run_all_gemm_designs(size)
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for kind, run in runs.items():
+        energy = run.soc_breakdown()
+        seconds = run.total_cycles / (run.design.soc.clock_mhz * 1e6)
+        breakdown[kind.display_name] = {
+            component: value * 1e-12 / seconds * 1e3
+            for component, value in energy.parts_pj.items()
+        }
+    return breakdown
+
+
+def figure10_core_power_breakdown(size: int = 1024) -> Dict[str, Dict[str, float]]:
+    """Figure 10: active power breakdown (mW) within the Vortex core."""
+    runs = run_all_gemm_designs(size)
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for kind, run in runs.items():
+        energy = run.core_breakdown()
+        seconds = run.total_cycles / (run.design.soc.clock_mhz * 1e6)
+        breakdown[kind.display_name] = {
+            component: value * 1e-12 / seconds * 1e3
+            for component, value in energy.parts_pj.items()
+        }
+    return breakdown
+
+
+def figure11_matrix_unit_energy(size: int = 1024) -> Dict[str, Dict[str, float]]:
+    """Figure 11: matrix-unit active energy breakdown (uJ) for the 1024^3 GEMM."""
+    runs = run_all_gemm_designs(size)
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for kind, run in runs.items():
+        energy = run.matrix_unit_breakdown()
+        breakdown[kind.display_name] = energy.parts_uj()
+    return breakdown
+
+
+def figure12_flash_attention(
+    workload: FlashAttentionWorkload | None = None,
+) -> Dict[str, Dict[str, object]]:
+    """Figure 12 + Section 6.2: FlashAttention-3 power, energy, utilization."""
+    workload = workload or FlashAttentionWorkload()
+    results: Dict[str, Dict[str, object]] = {}
+    for kind in (DesignKind.AMPERE, DesignKind.VIRGO):
+        run = run_flash_attention(kind, workload)
+        seconds = run.total_cycles / (run.design.soc.clock_mhz * 1e6)
+        breakdown = run.soc_breakdown()
+        results[kind.display_name] = {
+            "mac_utilization_percent": run.mac_utilization_percent,
+            "active_power_mw": run.active_power_mw,
+            "active_energy_uj": run.active_energy_uj,
+            "cycles": run.total_cycles,
+            "power_breakdown_mw": {
+                component: value * 1e-12 / seconds * 1e3
+                for component, value in breakdown.parts_pj.items()
+            },
+        }
+    return results
+
+
+def gemm_power_reduction(size: int = 1024) -> Dict[str, float]:
+    """Headline claims: Virgo's power/energy reduction vs Ampere and Hopper styles."""
+    runs = run_all_gemm_designs(size)
+    virgo_run = runs[DesignKind.VIRGO]
+    ampere_run = runs[DesignKind.AMPERE]
+    hopper_run = runs[DesignKind.HOPPER]
+    return {
+        "power_reduction_vs_ampere_percent": 100.0
+        * (1.0 - virgo_run.active_power_mw / ampere_run.active_power_mw),
+        "power_reduction_vs_hopper_percent": 100.0
+        * (1.0 - virgo_run.active_power_mw / hopper_run.active_power_mw),
+        "energy_reduction_vs_ampere_percent": 100.0
+        * (1.0 - virgo_run.active_energy_uj / ampere_run.active_energy_uj),
+        "energy_reduction_vs_hopper_percent": 100.0
+        * (1.0 - virgo_run.active_energy_uj / hopper_run.active_energy_uj),
+    }

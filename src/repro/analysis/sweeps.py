@@ -1,0 +1,106 @@
+"""Design-space sweeps around the Virgo design point.
+
+The paper positions Virgo as a *generator* (Section 5.2): cores per cluster,
+clusters, systolic-array geometry and memory widths are all parameters.
+These sweeps exercise that flexibility with the timing/energy models:
+
+* :func:`mesh_scaling_sweep` -- grow the systolic array (and the shared-memory
+  port feeding it) and report utilization, power and energy per FLOP: the
+  cluster-level integration keeps scaling because no register file is in the
+  way.
+* :func:`cluster_scaling_sweep` -- add clusters to the SoC and report the
+  runtime scaling of a fixed GEMM.
+* :func:`dma_bandwidth_sweep` -- vary the DMA/global bandwidth to find the
+  point where data delivery, not the matrix unit, limits utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.config.presets import virgo
+from repro.config.soc import DesignConfig
+from repro.kernels.gemm import GemmWorkload
+from repro.runner import run_gemm
+
+
+def _with_mesh(base: DesignConfig, mesh: int) -> DesignConfig:
+    """A Virgo variant with a mesh x mesh systolic array and a matched SMEM port."""
+    unit = replace(
+        base.matrix_unit,
+        systolic_rows=mesh,
+        systolic_cols=mesh,
+        macs_per_cycle=mesh * mesh,
+        tile_m=8 * mesh,
+        tile_n=4 * mesh,
+        tile_k=8 * mesh,
+        accumulator_bytes=max(base.matrix_unit.accumulator_bytes, 8 * mesh * 4 * mesh * 4),
+    )
+    shared_memory = replace(base.soc.cluster.shared_memory, subbanks=max(4, mesh // 2))
+    cluster = replace(base.soc.cluster, matrix_unit=unit, shared_memory=shared_memory)
+    return replace(base, soc=replace(base.soc, cluster=cluster))
+
+
+def mesh_scaling_sweep(size: int = 1024, meshes=(8, 16, 32)) -> List[Dict[str, float]]:
+    """Scale the Virgo matrix unit and report utilization / power / energy-per-FLOP."""
+    base = virgo()
+    workload = GemmWorkload.square(size)
+    results = []
+    for mesh in meshes:
+        design = _with_mesh(base, mesh)
+        run = run_gemm(design, workload.m)
+        flops = workload.flops
+        results.append(
+            {
+                "mesh": float(mesh),
+                "macs_per_cycle": float(mesh * mesh),
+                "mac_utilization_percent": run.mac_utilization_percent,
+                "active_power_mw": run.active_power_mw,
+                "energy_pj_per_flop": run.power.total_energy_pj / flops,
+                "cycles": float(run.total_cycles),
+            }
+        )
+    return results
+
+
+def cluster_scaling_sweep(size: int = 1024, cluster_counts=(1, 2, 4)) -> List[Dict[str, float]]:
+    """Add clusters to the SoC and report strong-scaling of a fixed GEMM."""
+    base = virgo()
+    results = []
+    baseline_cycles = None
+    for clusters in cluster_counts:
+        design = replace(base, soc=replace(base.soc, clusters=clusters))
+        run = run_gemm(design, size)
+        if baseline_cycles is None:
+            baseline_cycles = run.total_cycles
+        results.append(
+            {
+                "clusters": float(clusters),
+                "cycles": float(run.total_cycles),
+                "speedup": baseline_cycles / run.total_cycles,
+                "mac_utilization_percent": run.mac_utilization_percent,
+                "active_energy_uj": run.active_energy_uj,
+            }
+        )
+    return results
+
+
+def dma_bandwidth_sweep(size: int = 512, bandwidths=(8.0, 16.0, 32.0, 64.0)) -> List[Dict[str, float]]:
+    """Vary the DMA/global-memory bandwidth and find the delivery-bound region."""
+    base = virgo()
+    results = []
+    for bandwidth in bandwidths:
+        dma = replace(base.soc.cluster.dma, bytes_per_cycle=bandwidth)
+        dram = replace(base.soc.dram, bandwidth_bytes_per_cycle=bandwidth)
+        cluster = replace(base.soc.cluster, dma=dma)
+        design = replace(base, soc=replace(base.soc, cluster=cluster, dram=dram))
+        run = run_gemm(design, size)
+        results.append(
+            {
+                "bytes_per_cycle": bandwidth,
+                "mac_utilization_percent": run.mac_utilization_percent,
+                "cycles": float(run.total_cycles),
+            }
+        )
+    return results

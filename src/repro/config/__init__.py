@@ -1,0 +1,47 @@
+"""Hardware configuration dataclasses and design presets (paper Table 2)."""
+
+from repro.config.soc import (
+    CacheConfig,
+    ClusterConfig,
+    CoreConfig,
+    DataType,
+    DesignConfig,
+    DmaConfig,
+    DramConfig,
+    IntegrationStyle,
+    MatrixUnitConfig,
+    RegisterFileConfig,
+    SharedMemoryConfig,
+    SoCConfig,
+)
+from repro.config.presets import (
+    DesignKind,
+    make_design,
+    volta_style,
+    ampere_style,
+    hopper_style,
+    virgo,
+    all_designs,
+)
+
+__all__ = [
+    "CacheConfig",
+    "ClusterConfig",
+    "CoreConfig",
+    "DataType",
+    "DesignConfig",
+    "DmaConfig",
+    "DramConfig",
+    "IntegrationStyle",
+    "MatrixUnitConfig",
+    "RegisterFileConfig",
+    "SharedMemoryConfig",
+    "SoCConfig",
+    "DesignKind",
+    "make_design",
+    "volta_style",
+    "ampere_style",
+    "hopper_style",
+    "virgo",
+    "all_designs",
+]

@@ -1,0 +1,120 @@
+"""Assembly of a Virgo cluster: cores, shared memory, DMA, matrix unit(s).
+
+The cluster is the hardware unit a thread block maps to.  For Virgo it holds
+the SIMT cores, the banked shared memory and its interconnect, the cluster
+DMA engine, the cluster-wide synchronizer, and one or more disaggregated
+matrix units (Section 6.3 evaluates a heterogeneous two-unit configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.config.soc import DesignConfig, IntegrationStyle, MatrixUnitConfig
+from repro.core.accumulator import AccumulatorMemory
+from repro.core.gemmini import GemminiMatrixUnit
+from repro.core.mmio import MmioInterface
+from repro.core.synchronizer import ClusterSynchronizer
+from repro.memory.dma import DmaEngine
+from repro.memory.dram import DramChannel
+from repro.memory.interconnect import SharedMemoryInterconnect
+from repro.memory.shared_memory import BankedSharedMemory
+from repro.sim.stats import Counters
+from repro.simt.core import VortexCore
+
+#: Byte offset of the first MMIO window inside the shared-memory address space.
+MMIO_BASE_OFFSET = 0x1F000
+
+
+class VirgoCluster:
+    """A cluster with disaggregated matrix unit(s)."""
+
+    def __init__(self, design: DesignConfig) -> None:
+        if design.style is not IntegrationStyle.DISAGGREGATED:
+            raise ValueError(
+                "VirgoCluster models the disaggregated design; use the kernel models "
+                "directly for the core-coupled baselines"
+            )
+        design.validate()
+        self.design = design
+        cluster = design.soc.cluster
+
+        self.cores: List[VortexCore] = [VortexCore(cluster.core) for _ in range(cluster.cores)]
+        self.shared_memory = BankedSharedMemory(cluster.shared_memory)
+        self.interconnect = SharedMemoryInterconnect(self.shared_memory)
+        self.dram = DramChannel(design.soc.dram)
+        self.dma = DmaEngine(cluster.dma, self.dram, self.shared_memory)
+        self.synchronizer = ClusterSynchronizer(cores=cluster.cores)
+        self.counters = Counters()
+
+        self.matrix_units: Dict[str, GemminiMatrixUnit] = {}
+        self.mmio: Dict[str, MmioInterface] = {}
+        for index in range(cluster.matrix_units):
+            self.add_matrix_unit(f"mu{index}", cluster.matrix_unit)
+
+    # ------------------------------------------------------------------ #
+    # Matrix unit management
+    # ------------------------------------------------------------------ #
+
+    def add_matrix_unit(self, name: str, config: Optional[MatrixUnitConfig] = None) -> GemminiMatrixUnit:
+        """Instantiate an additional matrix unit (heterogeneous configurations)."""
+        if name in self.matrix_units:
+            raise ValueError(f"matrix unit {name!r} already exists")
+        unit_config = config or self.design.matrix_unit
+        accumulator = AccumulatorMemory(unit_config.accumulator_bytes or 32 * 1024)
+        unit = GemminiMatrixUnit(
+            unit_config, self.design.cluster.shared_memory, accumulator=accumulator
+        )
+        self.matrix_units[name] = unit
+        base = MMIO_BASE_OFFSET + len(self.mmio) * 4 * MmioInterface.WINDOW_WORDS
+        self.mmio[name] = MmioInterface(base_address=base)
+        return unit
+
+    def matrix_unit(self, name: str = "mu0") -> GemminiMatrixUnit:
+        return self.matrix_units[name]
+
+    def scaled_matrix_unit_config(self, scale: float) -> MatrixUnitConfig:
+        """A matrix-unit config scaled down by ``scale`` in each mesh dimension.
+
+        Used by the heterogeneous experiment, which pairs a full-size unit
+        with a half-size unit in one cluster.
+        """
+        base = self.design.matrix_unit
+        rows = max(1, int(base.systolic_rows * scale))
+        cols = max(1, int(base.systolic_cols * scale))
+        return replace(
+            base,
+            systolic_rows=rows,
+            systolic_cols=cols,
+            macs_per_cycle=rows * cols,
+            tile_m=max(rows, int(base.tile_m * scale)),
+            tile_n=max(cols, int(base.tile_n * scale)),
+            tile_k=max(rows, int(base.tile_k * scale)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_macs_per_cycle(self) -> int:
+        return sum(unit.array.macs_per_cycle for unit in self.matrix_units.values())
+
+    def gather_counters(self) -> Counters:
+        """Merge counters from every component plus the cluster-level bag."""
+        merged = self.counters.copy()
+        merged.merge(self.shared_memory.counters)
+        for unit in self.matrix_units.values():
+            merged.merge(unit.accumulator.counters)
+        for mmio in self.mmio.values():
+            merged.merge(mmio.counters)
+        merged.merge(self.synchronizer.counters)
+        return merged
+
+    def reset(self) -> None:
+        self.counters = Counters()
+        self.shared_memory.reset()
+        for unit in self.matrix_units.values():
+            unit.accumulator.reset()
+        self.synchronizer.completed.clear()

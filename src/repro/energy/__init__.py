@@ -1,0 +1,25 @@
+"""Event-based energy, active power, and area models (16 nm representative)."""
+
+from repro.energy.model import EnergyTable, EnergyEventSpec
+from repro.energy.power import PowerReport, active_power_mw, active_energy_uj
+from repro.energy.breakdown import (
+    soc_breakdown,
+    core_breakdown,
+    matrix_unit_breakdown,
+    EnergyBreakdown,
+)
+from repro.energy.area import AreaModel, soc_area_breakdown
+
+__all__ = [
+    "EnergyTable",
+    "EnergyEventSpec",
+    "PowerReport",
+    "active_power_mw",
+    "active_energy_uj",
+    "soc_breakdown",
+    "core_breakdown",
+    "matrix_unit_breakdown",
+    "EnergyBreakdown",
+    "AreaModel",
+    "soc_area_breakdown",
+]

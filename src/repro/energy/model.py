@@ -1,0 +1,180 @@
+"""Per-event energy table (16 nm representative values).
+
+Every counter the simulation produces maps to an :class:`EnergyEventSpec`:
+the SoC component group it belongs to (following the paper's breakdown
+figures) and an energy cost in picojoules per event.  The absolute values are
+representative of a commercial 16 nm process -- they are *not* the paper's
+proprietary PDK numbers -- so absolute mW/mJ differ from the paper while the
+relative structure (register files and instruction processing dominating the
+core-coupled designs, SRAM accesses being cheap, PEs costing similar energy
+across designs) is preserved.
+
+Counter naming convention (dotted hierarchy):
+
+========================  =====================================================
+``core.issue.*``          instruction processing + register reads
+``core.alu/fpu/lsu/...``  execution units of the Vortex core
+``smem.<req>.*``          shared-memory word accesses by requester
+``accum.*``               Virgo's accumulator SRAM
+``matrix_unit.*``         PEs, operand/result buffers, SMEM interface, control
+``l1./l2./dram.``         cache and memory traffic
+``dma.*``                 cluster DMA engine
+``mmio./sync.``           command interface and synchronizer
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.config.soc import IntegrationStyle
+from repro.sim.stats import Counters
+
+
+@dataclass(frozen=True)
+class EnergyEventSpec:
+    """Energy cost and component attribution of one counter key."""
+
+    component: str
+    picojoules: float
+
+
+#: Component groups used by the SoC-level breakdown (Figure 9).
+SOC_COMPONENTS = (
+    "l2",
+    "l1",
+    "shared_memory",
+    "core",
+    "accumulator",
+    "matrix_unit",
+    "dma_other",
+)
+
+#: Sub-groups of the Vortex core breakdown (Figure 10).
+CORE_COMPONENTS = (
+    "core.issue",
+    "core.alu",
+    "core.fpu",
+    "core.lsu",
+    "core.writeback",
+    "core.other",
+)
+
+#: Sub-groups of the matrix-unit breakdown (Figure 11).
+MATRIX_UNIT_COMPONENTS = (
+    "matrix_unit.pe",
+    "matrix_unit.operand_buffer",
+    "matrix_unit.result_buffer",
+    "matrix_unit.smem_interface",
+    "matrix_unit.accumulator",
+    "matrix_unit.control",
+)
+
+
+def _base_table() -> Dict[str, EnergyEventSpec]:
+    """The default event-energy assignments shared by all designs."""
+    return {
+        # --- Vortex SIMT core ------------------------------------------------
+        "core.issue.instructions": EnergyEventSpec("core.issue", 7.0),
+        "core.issue.rf_read_words": EnergyEventSpec("core.issue", 1.2),
+        "core.writeback.rf_write_words": EnergyEventSpec("core.writeback", 1.5),
+        "core.alu.ops": EnergyEventSpec("core.alu", 0.6),
+        "core.fpu.ops": EnergyEventSpec("core.fpu", 1.6),
+        "core.lsu.requests": EnergyEventSpec("core.lsu", 2.2),
+        "core.lsu.bytes": EnergyEventSpec("core.lsu", 0.02),
+        "core.other.ops": EnergyEventSpec("core.other", 1.0),
+        # --- Shared memory ----------------------------------------------------
+        "smem.core.read_words": EnergyEventSpec("shared_memory", 1.1),
+        "smem.core.write_words": EnergyEventSpec("shared_memory", 1.25),
+        "smem.matrix.read_words": EnergyEventSpec("shared_memory", 1.1),
+        "smem.matrix.write_words": EnergyEventSpec("shared_memory", 1.25),
+        "smem.dma.read_words": EnergyEventSpec("shared_memory", 1.1),
+        "smem.dma.write_words": EnergyEventSpec("shared_memory", 1.25),
+        "smem.core_words": EnergyEventSpec("shared_memory", 1.1),
+        # --- Accumulator SRAM (Virgo) ------------------------------------------
+        "accum.read_words": EnergyEventSpec("accumulator", 0.55),
+        "accum.write_words": EnergyEventSpec("accumulator", 0.65),
+        # --- Matrix unit internals ---------------------------------------------
+        "matrix_unit.pe.macs": EnergyEventSpec("matrix_unit.pe", 0.75),
+        "matrix_unit.pe.in_mesh_accumulations": EnergyEventSpec("matrix_unit.pe", 0.0),
+        "matrix_unit.operand_buffer_words": EnergyEventSpec("matrix_unit.operand_buffer", 0.9),
+        "matrix_unit.result_buffer_words": EnergyEventSpec("matrix_unit.result_buffer", 0.9),
+        "matrix_unit.smem_interface_words": EnergyEventSpec("matrix_unit.smem_interface", 0.35),
+        "matrix_unit.control_events": EnergyEventSpec("matrix_unit.control", 1.5),
+        # --- Caches and DRAM ----------------------------------------------------
+        "l1.requests": EnergyEventSpec("l1", 3.0),
+        "l1.bytes": EnergyEventSpec("l1", 0.12),
+        "l1.hits": EnergyEventSpec("l1", 3.0),
+        "l1.misses": EnergyEventSpec("l1", 6.0),
+        "l2.bytes": EnergyEventSpec("l2", 0.22),
+        "l2.accesses": EnergyEventSpec("l2", 8.0),
+        "dram.bytes": EnergyEventSpec("dram", 0.0),   # off-chip: excluded from SoC power
+        "dram.transfers": EnergyEventSpec("dram", 0.0),
+        # --- DMA, MMIO, synchronizer -------------------------------------------
+        "dma.bytes": EnergyEventSpec("dma_other", 0.12),
+        "dma.descriptors": EnergyEventSpec("dma_other", 40.0),
+        "mmio.stores": EnergyEventSpec("dma_other", 2.0),
+        "mmio.loads": EnergyEventSpec("dma_other", 2.0),
+        "mmio.commands": EnergyEventSpec("dma_other", 4.0),
+        "mmio.poll_cycles": EnergyEventSpec("dma_other", 0.0),
+        "sync.barrier_requests": EnergyEventSpec("dma_other", 3.0),
+        "sync.barriers_released": EnergyEventSpec("dma_other", 3.0),
+        "sync.stall_cycles": EnergyEventSpec("dma_other", 0.0),
+        # Bookkeeping counters that must not be double charged.
+        "smem.total_words": EnergyEventSpec("shared_memory", 0.0),
+        "l1.accesses": EnergyEventSpec("l1", 0.0),
+    }
+
+
+class EnergyTable:
+    """Maps simulation counters to energy, with per-design PE adjustments."""
+
+    def __init__(self, overrides: Mapping[str, EnergyEventSpec] | None = None) -> None:
+        self._table = _base_table()
+        if overrides:
+            self._table.update(overrides)
+
+    @classmethod
+    def for_design(cls, style: IntegrationStyle) -> "EnergyTable":
+        """Energy table adjusted for the matrix unit flavour of ``style``.
+
+        The systolic array uses fused multiply-add PEs which are slightly
+        more energy efficient than the tensor core's separate multiplier and
+        adder trees (Section 6.1.2, Figure 11); its operand staging happens in
+        the mesh's edge registers rather than per-core operand buffers.
+        """
+        if style is IntegrationStyle.DISAGGREGATED:
+            overrides = {
+                "matrix_unit.pe.macs": EnergyEventSpec("matrix_unit.pe", 0.68),
+            }
+            return cls(overrides)
+        return cls()
+
+    def spec_for(self, counter: str) -> EnergyEventSpec | None:
+        return self._table.get(counter)
+
+    def keys(self) -> Iterable[str]:
+        return self._table.keys()
+
+    def energy_picojoules(self, counters: Counters) -> float:
+        """Total active energy of all counted events, in picojoules."""
+        return sum(
+            self._table[key].picojoules * value
+            for key, value in counters.items()
+            if key in self._table
+        )
+
+    def energy_by_component(self, counters: Counters) -> Dict[str, float]:
+        """Energy per component group in picojoules."""
+        totals: Dict[str, float] = {}
+        for key, value in counters.items():
+            spec = self._table.get(key)
+            if spec is None:
+                continue
+            totals[spec.component] = totals.get(spec.component, 0.0) + spec.picojoules * value
+        return totals
+
+    def unknown_counters(self, counters: Counters) -> Tuple[str, ...]:
+        """Counter keys with no energy assignment (should be empty in tests)."""
+        return tuple(sorted(key for key in counters if key not in self._table))

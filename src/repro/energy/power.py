@@ -1,0 +1,95 @@
+"""Active power and energy computation.
+
+The paper reports *active* power: nominal SoC power minus idle power, so only
+switching activity matters.  Our event-energy model produces exactly that --
+it only charges events that occur -- so active power is total event energy
+divided by runtime, and active energy is the event energy itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.soc import SoCConfig
+from repro.energy.model import EnergyTable
+from repro.sim.stats import Counters
+
+
+@dataclass
+class PowerReport:
+    """Active power/energy of one kernel run on one design."""
+
+    design_name: str
+    cycles: int
+    clock_mhz: float
+    energy_by_component_pj: Dict[str, float]
+
+    @property
+    def runtime_seconds(self) -> float:
+        if self.clock_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_by_component_pj.values())
+
+    @property
+    def total_energy_uj(self) -> float:
+        return self.total_energy_pj / 1e6
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.total_energy_pj / 1e9
+
+    @property
+    def active_power_mw(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        # pJ / s = 1e-12 W; report mW.
+        return self.total_energy_pj / self.runtime_seconds * 1e-12 * 1e3
+
+    def power_by_component_mw(self) -> Dict[str, float]:
+        if self.cycles == 0:
+            return {key: 0.0 for key in self.energy_by_component_pj}
+        scale = 1e-12 * 1e3 / self.runtime_seconds
+        return {key: value * scale for key, value in self.energy_by_component_pj.items()}
+
+    def energy_by_component_uj(self) -> Dict[str, float]:
+        return {key: value / 1e6 for key, value in self.energy_by_component_pj.items()}
+
+
+def active_energy_uj(counters: Counters, table: EnergyTable) -> float:
+    """Total active energy in microjoules for a counted event stream."""
+    return table.energy_picojoules(counters) / 1e6
+
+
+def active_power_mw(
+    counters: Counters,
+    table: EnergyTable,
+    cycles: int,
+    soc: SoCConfig,
+) -> float:
+    """Active power in milliwatts for ``cycles`` of execution at the SoC clock."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive to compute power")
+    seconds = cycles / (soc.clock_mhz * 1e6)
+    return table.energy_picojoules(counters) * 1e-12 / seconds * 1e3
+
+
+def make_power_report(
+    design_name: str,
+    counters: Counters,
+    table: EnergyTable,
+    cycles: int,
+    soc: SoCConfig,
+) -> PowerReport:
+    """Bundle the component-wise energy and runtime into a :class:`PowerReport`."""
+    by_component = table.energy_by_component(counters)
+    return PowerReport(
+        design_name=design_name,
+        cycles=cycles,
+        clock_mhz=soc.clock_mhz,
+        energy_by_component_pj=by_component,
+    )

@@ -1,0 +1,122 @@
+"""Instruction stream builders used by the kernel models.
+
+A :class:`WarpProgram` is the per-warp instruction stream of one steady-state
+kernel iteration (or of a whole prologue/epilogue).  Kernels construct these
+programs from their loop structure; the SIMT core model then evaluates how
+many cycles a core needs to issue the stream and how many register-file and
+memory accesses it generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+@dataclass
+class WarpProgram:
+    """An ordered list of instructions issued by a single warp."""
+
+    name: str = ""
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def emit(self, instruction: Instruction, repeat: int = 1) -> "WarpProgram":
+        """Append ``instruction`` ``repeat`` times."""
+        if repeat < 0:
+            raise ValueError("repeat must be non-negative")
+        self.instructions.extend([instruction] * repeat)
+        return self
+
+    def emit_class(
+        self,
+        op_class: OpClass,
+        repeat: int = 1,
+        reg_reads: int = 2,
+        reg_writes: int = 1,
+        bytes_accessed: int = 0,
+        tag: str = "",
+    ) -> "WarpProgram":
+        """Append ``repeat`` instructions of ``op_class`` with uniform operands."""
+        return self.emit(
+            Instruction(
+                op_class=op_class,
+                reg_reads=reg_reads,
+                reg_writes=reg_writes,
+                bytes_accessed=bytes_accessed,
+                tag=tag,
+            ),
+            repeat=repeat,
+        )
+
+    def extend(self, other: "WarpProgram", repeat: int = 1) -> "WarpProgram":
+        """Append another program ``repeat`` times."""
+        for _ in range(repeat):
+            self.instructions.extend(other.instructions)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def count_by_class(self) -> Dict[OpClass, int]:
+        counts: Dict[OpClass, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.op_class] = counts.get(instruction.op_class, 0) + 1
+        return counts
+
+    def total_reg_reads(self) -> int:
+        return sum(instruction.reg_reads for instruction in self.instructions)
+
+    def total_reg_writes(self) -> int:
+        return sum(instruction.reg_writes for instruction in self.instructions)
+
+    def total_bytes(self, op_classes: Iterable[OpClass] | None = None) -> int:
+        """Total bytes accessed, optionally restricted to certain classes."""
+        selected = set(op_classes) if op_classes is not None else None
+        total = 0
+        for instruction in self.instructions:
+            if selected is None or instruction.op_class in selected:
+                total += instruction.bytes_accessed
+        return total
+
+
+@dataclass
+class InstructionStream:
+    """A collection of warp programs plus replication information.
+
+    ``warps`` is the number of warps that each execute every program in
+    ``programs`` (collaborative execution of warps, Section 4.2), and
+    ``iterations`` is how many times the steady-state stream repeats.
+    """
+
+    programs: List[WarpProgram] = field(default_factory=list)
+    warps: int = 1
+    iterations: int = 1
+
+    def add(self, program: WarpProgram) -> "InstructionStream":
+        self.programs.append(program)
+        return self
+
+    def instructions_per_warp(self) -> int:
+        return sum(len(program) for program in self.programs)
+
+    def total_instructions(self) -> int:
+        """Total dynamic instructions across all warps and iterations."""
+        return self.instructions_per_warp() * self.warps * self.iterations
+
+    def count_by_class(self) -> Dict[OpClass, int]:
+        """Dynamic instruction counts per class across all warps/iterations."""
+        counts: Dict[OpClass, int] = {}
+        for program in self.programs:
+            for op_class, count in program.count_by_class().items():
+                counts[op_class] = counts.get(op_class, 0) + count
+        scale = self.warps * self.iterations
+        return {op_class: count * scale for op_class, count in counts.items()}
+
+    def merged_program(self) -> WarpProgram:
+        """Concatenate all programs into one per-warp stream (single iteration)."""
+        merged = WarpProgram(name="merged")
+        for program in self.programs:
+            merged.extend(program)
+        return merged

@@ -1,0 +1,28 @@
+"""Kernel models: tiled GEMM per design, FlashAttention-3, heterogeneous units."""
+
+from repro.kernels.gemm import (
+    GemmWorkload,
+    GemmKernelResult,
+    simulate_gemm,
+    GEMM_SIZES,
+)
+from repro.kernels.flash_attention import (
+    FlashAttentionWorkload,
+    FlashAttentionResult,
+    simulate_flash_attention,
+    flash_attention_reference,
+)
+from repro.kernels.heterogeneous import HeterogeneousResult, simulate_heterogeneous
+
+__all__ = [
+    "GemmWorkload",
+    "GemmKernelResult",
+    "simulate_gemm",
+    "GEMM_SIZES",
+    "FlashAttentionWorkload",
+    "FlashAttentionResult",
+    "simulate_flash_attention",
+    "flash_attention_reference",
+    "HeterogeneousResult",
+    "simulate_heterogeneous",
+]

@@ -1,0 +1,484 @@
+"""FlashAttention-3 kernel: functional algorithm plus Virgo/Ampere mappings.
+
+The paper (Section 4.5, 6.2) maps the fused attention forward pass onto Virgo
+by running the two GEMMs (S = Q K^T and O += P V) on the cluster matrix unit
+while the SIMT cores compute the online softmax concurrently, synchronized
+with fences and cluster-wide barriers and double-buffered in shared memory.
+The Ampere-style baseline uses warp specialization with ping-pong scheduling:
+GEMM and softmax alternate across two warp groups, competing for the same
+issue slots and register file.
+
+Because the Vortex core has no exponential unit, the paper substitutes a
+2nd-order Taylor approximation for ``exp``; the functional model reproduces
+that (and its accuracy impact) as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.config.soc import DataType, DesignConfig, IntegrationStyle
+from repro.config.presets import DesignKind, ampere_style, make_design, virgo
+from repro.core.gemmini import GemminiMatrixUnit
+from repro.isa.instructions import OpClass
+from repro.isa.program import WarpProgram
+from repro.kernels.gemm.instruction_streams import _fragment_loads
+from repro.memory.dma import DmaEngine
+from repro.memory.dram import DramChannel
+from repro.sim.resources import Resource
+from repro.sim.stats import Counters
+from repro.sim.taskgraph import OperationGraph
+from repro.simt.core import VortexCore
+from repro.tensorcore.volta import VoltaTensorCore
+
+
+# --------------------------------------------------------------------------- #
+# Functional algorithm
+# --------------------------------------------------------------------------- #
+
+
+def taylor_exp(x: np.ndarray, order: int = 2) -> np.ndarray:
+    """2nd-order Taylor approximation of exp used on the SIMT cores.
+
+    ``exp(x) ~= 1 + x + x^2/2`` for the (negative, post-max-subtraction)
+    arguments the online softmax produces, clamped at zero to stay a valid
+    (non-negative) probability weight.
+    """
+    result = np.ones_like(x)
+    term = np.ones_like(x)
+    for i in range(1, order + 1):
+        term = term * x / i
+        result = result + term
+    return np.maximum(result, 0.0)
+
+
+def attention_reference(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float | None = None
+) -> np.ndarray:
+    """Exact (softmax) attention reference."""
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = (q @ k.T) * scale
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    weights = np.exp(scores)
+    weights = weights / weights.sum(axis=-1, keepdims=True)
+    return weights @ v
+
+
+def flash_attention_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    block_q: int = 64,
+    block_kv: int = 64,
+    scale: float | None = None,
+    use_taylor_exp: bool = False,
+) -> np.ndarray:
+    """Blocked online-softmax attention (the FlashAttention recurrence).
+
+    Processes KV tiles one at a time, maintaining per-row running max,
+    normalizer and un-normalized output -- the same loop structure the Virgo
+    kernel executes, so it doubles as the functional model of the mapping.
+    """
+    if q.ndim != 2 or k.ndim != 2 or v.ndim != 2:
+        raise ValueError("q, k, v must be 2-D (sequence x head_dim)")
+    if k.shape != v.shape or q.shape[1] != k.shape[1]:
+        raise ValueError("q, k, v head dimensions must agree")
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    exp_fn = taylor_exp if use_taylor_exp else np.exp
+
+    seq_q, head_dim = q.shape
+    seq_kv = k.shape[0]
+    output = np.zeros((seq_q, head_dim), dtype=np.float32)
+
+    for q_start in range(0, seq_q, block_q):
+        q_tile = q[q_start : q_start + block_q].astype(np.float32)
+        rows = q_tile.shape[0]
+        running_max = np.full((rows, 1), -np.inf, dtype=np.float32)
+        normalizer = np.zeros((rows, 1), dtype=np.float32)
+        accumulator = np.zeros((rows, head_dim), dtype=np.float32)
+
+        for kv_start in range(0, seq_kv, block_kv):
+            k_tile = k[kv_start : kv_start + block_kv].astype(np.float32)
+            v_tile = v[kv_start : kv_start + block_kv].astype(np.float32)
+
+            scores = (q_tile @ k_tile.T) * scale                     # GEMM-1
+            tile_max = scores.max(axis=-1, keepdims=True)
+            new_max = np.maximum(running_max, tile_max)
+            # Clamp the (non-positive) rescale argument so the first tile's
+            # -inf running max does not propagate NaNs through the exp.
+            correction = exp_fn(np.maximum(running_max - new_max, np.float32(-80.0)))
+            probs = exp_fn(scores - new_max)                          # softmax
+            normalizer = normalizer * correction + probs.sum(axis=-1, keepdims=True)
+            accumulator = accumulator * correction + probs @ v_tile   # GEMM-2
+            running_max = new_max
+
+        output[q_start : q_start + block_q] = accumulator / normalizer
+    return output
+
+
+# --------------------------------------------------------------------------- #
+# Workload and result types
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FlashAttentionWorkload:
+    """Forward-pass attention problem (paper: seq 1024, head dim 64, 1 head)."""
+
+    seq_len: int = 1024
+    head_dim: int = 64
+    heads: int = 1
+    block_q: int = 64
+    block_kv: int = 64
+
+    @property
+    def gemm_macs(self) -> int:
+        """MACs of the two GEMMs (S = QK^T and O = PV) across all heads."""
+        return 2 * self.heads * self.seq_len * self.seq_len * self.head_dim
+
+    @property
+    def softmax_elements(self) -> int:
+        return self.heads * self.seq_len * self.seq_len
+
+    @property
+    def iterations(self) -> int:
+        """(Q tile, KV tile) loop iterations."""
+        q_tiles = -(-self.seq_len // self.block_q)
+        kv_tiles = -(-self.seq_len // self.block_kv)
+        return self.heads * q_tiles * kv_tiles
+
+
+@dataclass
+class FlashAttentionResult:
+    """Outcome of simulating FlashAttention-3 on one design."""
+
+    design: DesignConfig
+    workload: FlashAttentionWorkload
+    total_cycles: int
+    ideal_mac_cycles: float
+    counters: Counters
+    fence_poll_cycles_avg: float = 0.0
+    phase_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mac_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.ideal_mac_cycles / self.total_cycles)
+
+    @property
+    def mac_utilization_percent(self) -> float:
+        return 100.0 * self.mac_utilization
+
+    @property
+    def fence_overhead_fraction(self) -> float:
+        """Fraction of runtime spent polling in virgo_fence (Section 4.5.1)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.fence_poll_cycles_avg * self.workload.iterations / self.total_cycles
+
+
+# --------------------------------------------------------------------------- #
+# Softmax cost model (shared by both mappings)
+# --------------------------------------------------------------------------- #
+
+#: FP operations per score element for the online softmax with Taylor exp:
+#: row-max reduction, subtract, 2nd-order exp (2 mul + 2 add), running-sum
+#: reduction, probability write, running-max correction and the O-tile
+#: rescale that consumes one multiply-add per score element.
+SOFTMAX_FLOPS_PER_ELEMENT = 20
+
+#: Non-FPU instructions (loads/stores of S, P and O tiles, address updates,
+#: loop control) per FPU instruction in the softmax inner loop.
+SOFTMAX_OVERHEAD_INSTRUCTION_RATIO = 1.0
+
+
+def _softmax_cycles(design: DesignConfig, elements: int, cores_share: float = 1.0) -> int:
+    """Cycles for the SIMT cores to run softmax over ``elements`` scores."""
+    cluster = design.cluster
+    lanes = cluster.cores * cluster.core.lanes * cores_share
+    flops = elements * SOFTMAX_FLOPS_PER_ELEMENT
+    fpu_cycles = flops / lanes
+    issue_cycles = fpu_cycles * (1.0 + SOFTMAX_OVERHEAD_INSTRUCTION_RATIO)
+    return max(1, int(max(fpu_cycles, issue_cycles / design.cluster.core.issue_width)))
+
+
+def _softmax_counters(design: DesignConfig, elements: int) -> Counters:
+    counters = Counters()
+    flops = elements * SOFTMAX_FLOPS_PER_ELEMENT
+    lanes = design.cluster.core.lanes
+    fpu_instructions = flops / lanes
+    overhead_instructions = fpu_instructions * SOFTMAX_OVERHEAD_INSTRUCTION_RATIO
+    counters.add("core.fpu.ops", flops)
+    counters.add("core.issue.instructions", fpu_instructions + overhead_instructions)
+    counters.add("core.alu.ops", overhead_instructions * lanes / 2)
+    counters.add("core.lsu.requests", overhead_instructions / 2)
+    counters.add("core.issue.rf_read_words", 2 * (flops + overhead_instructions * lanes))
+    counters.add("core.writeback.rf_write_words", flops)
+    counters.add("smem.core.read_words", 3 * elements)
+    counters.add("smem.core.write_words", 2 * elements)
+    return counters
+
+
+# --------------------------------------------------------------------------- #
+# Virgo mapping (Listing 1)
+# --------------------------------------------------------------------------- #
+
+
+class VirgoFlashAttentionKernel:
+    """FlashAttention-3 mapped onto Virgo (GEMMs on the matrix unit, softmax on SIMT)."""
+
+    #: Average cycles the leader warp spends in the fence polling loop per
+    #: iteration (the paper measures ~260 cycles, 2.4% of runtime).
+    FENCE_POLL_CYCLES = 260
+    BARRIER_CYCLES = 24
+
+    def __init__(self, design: DesignConfig | None = None) -> None:
+        self.design = design or virgo(DataType.FP32)
+        if self.design.style is not IntegrationStyle.DISAGGREGATED:
+            raise ValueError("VirgoFlashAttentionKernel requires the disaggregated design")
+        self.matrix_unit = GemminiMatrixUnit(
+            self.design.matrix_unit, self.design.cluster.shared_memory
+        )
+        self.dram = DramChannel(self.design.soc.dram)
+        self.dma = DmaEngine(self.design.cluster.dma, self.dram)
+
+    def simulate(self, workload: FlashAttentionWorkload) -> FlashAttentionResult:
+        bq, bkv, d = workload.block_q, workload.block_kv, workload.head_dim
+
+        # Per-iteration GEMM timings on the cluster matrix unit.
+        gemm1 = self.matrix_unit.operation_timing(bq, bkv, d)      # S = Q K^T
+        gemm2 = self.matrix_unit.operation_timing(bq, d, bkv)      # O += P V
+        matrix_cycles = gemm1.total_cycles + gemm2.total_cycles
+
+        softmax_cycles = _softmax_cycles(self.design, bq * bkv)
+        kv_bytes = 2 * bkv * d * 4  # FP32 K and V tiles
+        dma_cycles = self.dma.transfer_cycles(kv_bytes)
+
+        # Software pipeline: matrix unit, SIMT softmax and DMA all overlap;
+        # the iteration is paced by the slowest pipe plus the fence/barrier.
+        iteration_cycles = max(matrix_cycles, softmax_cycles, dma_cycles)
+        iteration_cycles += self.FENCE_POLL_CYCLES + self.BARRIER_CYCLES
+
+        iterations = workload.iterations
+        total_cycles = iteration_cycles * iterations
+        # Prologue (first Q/K/V loads) and epilogue (final O store).
+        total_cycles += self.dma.transfer_cycles(3 * bq * d * 4)
+        total_cycles += self.dma.transfer_cycles(bq * d * 4) * (workload.seq_len // bq)
+
+        counters = self._counters(workload, gemm1, gemm2)
+        ideal = workload.gemm_macs / float(self.design.cluster.total_macs_per_cycle)
+        return FlashAttentionResult(
+            design=self.design,
+            workload=workload,
+            total_cycles=total_cycles,
+            ideal_mac_cycles=ideal,
+            counters=counters,
+            fence_poll_cycles_avg=self.FENCE_POLL_CYCLES,
+            phase_cycles={
+                "matrix": matrix_cycles * iterations,
+                "softmax": softmax_cycles * iterations,
+                "dma": dma_cycles * iterations,
+            },
+        )
+
+    def _counters(self, workload: FlashAttentionWorkload, gemm1, gemm2) -> Counters:
+        counters = Counters()
+        iterations = workload.iterations
+        bq, bkv, d = workload.block_q, workload.block_kv, workload.head_dim
+
+        per_iter = Counters()
+        per_iter.add("matrix_unit.pe.macs", bq * bkv * d + bq * d * bkv)
+        operand_words = (
+            self.matrix_unit.smem_read_bytes(bq, bkv, d)
+            + self.matrix_unit.smem_read_bytes(bq, d, bkv)
+        ) // 4
+        per_iter.add("smem.matrix.read_words", operand_words)
+        per_iter.add("matrix_unit.smem_interface_words", operand_words)
+        per_iter.add("matrix_unit.control_events", 2)
+        per_iter.add("accum.write_words", bq * (bkv + d))
+        per_iter.add("accum.read_words", bq * d)
+        per_iter.add("mmio.stores", 12)
+        per_iter.add("mmio.commands", 2)
+        per_iter.add("mmio.loads", self.FENCE_POLL_CYCLES // 10)
+        per_iter.add("core.issue.instructions", 40)
+        per_iter.add("dma.bytes", 2 * bkv * d * 4)
+        per_iter.add("dma.descriptors", 2)
+        per_iter.add("l2.bytes", 2 * bkv * d * 4)
+        per_iter.add("dram.bytes", 2 * bkv * d * 4)
+        per_iter.add("smem.dma.write_words", 2 * bkv * d)
+        per_iter.add("sync.barrier_requests", self.design.cluster.cores)
+        per_iter.add("sync.barriers_released", 1)
+        per_iter.merge(_softmax_counters(self.design, bq * bkv))
+
+        counters.merge(per_iter.scaled(iterations))
+        return counters
+
+
+# --------------------------------------------------------------------------- #
+# Ampere-style mapping (warp-specialized ping-pong scheduling)
+# --------------------------------------------------------------------------- #
+
+
+class AmpereFlashAttentionKernel:
+    """FlashAttention-3 on the tightly-coupled Ampere-style baseline.
+
+    The 8 warps of each core split into two groups of four; one group issues
+    the synchronous HMMA sequences of the two GEMMs while the other runs the
+    softmax, alternating every KV tile (ping-pong).  Both groups share the
+    core's single issue port, register file and tensor core, which is why the
+    achieved MAC utilization is far lower than Virgo's.
+    """
+
+    BARRIER_CYCLES = 24
+
+    def __init__(self, design: DesignConfig | None = None) -> None:
+        self.design = design or ampere_style(DataType.FP32)
+        if self.design.style is not IntegrationStyle.TIGHTLY_COUPLED_DMA:
+            raise ValueError("AmpereFlashAttentionKernel requires the Ampere-style design")
+        self.tensor_core = VoltaTensorCore(self.design.matrix_unit)
+        self.core = VortexCore(self.design.cluster.core)
+        self.dram = DramChannel(self.design.soc.dram)
+        self.dma = DmaEngine(self.design.cluster.dma, self.dram)
+
+    def _iteration_programs(self, workload: FlashAttentionWorkload):
+        """Warp programs of one core for one KV-tile iteration."""
+        design = self.design
+        cluster = design.cluster
+        unit = design.matrix_unit
+        lanes = cluster.core.lanes
+        bq, bkv, d = workload.block_q, workload.block_kv, workload.head_dim
+
+        gemm_macs = bq * bkv * d + bq * d * bkv
+        tile_ops_total = gemm_macs // unit.tile_macs
+        gemm_warps = cluster.core.warps // 2
+        tile_ops_per_warp = max(
+            1, tile_ops_total // (cluster.cores * gemm_warps)
+        )
+
+        sequence = self.tensor_core.hmma_sequence()
+        a_bytes = unit.tile_m * unit.tile_k * unit.dtype.bytes
+        b_bytes = unit.tile_k * unit.tile_n * unit.dtype.bytes
+
+        gemm_program = WarpProgram(name="fa_gemm_warp")
+        for _ in range(tile_ops_per_warp):
+            gemm_program.emit_class(OpClass.ALU, repeat=4)
+            _fragment_loads(gemm_program, a_bytes, lanes)
+            _fragment_loads(gemm_program, b_bytes, lanes)
+            for instruction in sequence.as_instructions():
+                gemm_program.emit(instruction)
+            gemm_program.emit_class(OpClass.ALU, repeat=2)
+            gemm_program.emit_class(OpClass.BRANCH, repeat=1)
+        gemm_program.emit_class(OpClass.VX_BAR, repeat=1)
+
+        softmax_elements = bq * bkv
+        softmax_warps = cluster.core.warps - gemm_warps
+        flops_per_warp = softmax_elements * SOFTMAX_FLOPS_PER_ELEMENT / (
+            cluster.cores * softmax_warps
+        )
+        softmax_program = WarpProgram(name="fa_softmax_warp")
+        fpu_instructions = max(1, int(flops_per_warp / lanes))
+        for index in range(fpu_instructions):
+            softmax_program.emit_class(OpClass.FPU, reg_reads=2, reg_writes=1)
+            # Interleaved loads/addressing/loop control of the softmax loop.
+            if index % max(1, int(1.0 / max(SOFTMAX_OVERHEAD_INSTRUCTION_RATIO, 0.01))) == 0:
+                softmax_program.emit_class(OpClass.ALU, reg_reads=2, reg_writes=1)
+        # Score tile loads/stores between shared memory and registers.
+        softmax_program.emit_class(
+            OpClass.LOAD_SHARED,
+            repeat=max(1, softmax_elements // (cluster.cores * softmax_warps * lanes)),
+            bytes_accessed=4 * lanes,
+        )
+        softmax_program.emit_class(
+            OpClass.STORE_SHARED,
+            repeat=max(1, softmax_elements // (cluster.cores * softmax_warps * lanes)),
+            bytes_accessed=4 * lanes,
+        )
+        softmax_program.emit_class(OpClass.VX_BAR, repeat=1)
+
+        programs = [gemm_program] * gemm_warps + [softmax_program] * softmax_warps
+        leader = WarpProgram(name="fa_leader")
+        leader.emit_class(OpClass.DMA_PROGRAM, repeat=4)
+        programs[0] = WarpProgram(name="fa_gemm_leader").extend(gemm_program).extend(leader)
+        return programs, tile_ops_per_warp * gemm_warps
+
+    def simulate(self, workload: FlashAttentionWorkload) -> FlashAttentionResult:
+        programs, tile_ops_per_core = self._iteration_programs(workload)
+        execution = self.core.execute(programs)
+        iteration_cycles = execution.cycles + self.BARRIER_CYCLES
+
+        bkv, d = workload.block_kv, workload.head_dim
+        kv_bytes = 2 * bkv * d * 4
+        dma_cycles = self.dma.transfer_cycles(kv_bytes)
+        iteration_cycles = max(iteration_cycles, dma_cycles)
+
+        iterations = workload.iterations
+        total_cycles = iteration_cycles * iterations
+        total_cycles += self.dma.transfer_cycles(3 * workload.block_q * d * 4)
+
+        counters = self._counters(workload, execution.counters, tile_ops_per_core)
+        ideal = workload.gemm_macs / float(self.design.cluster.total_macs_per_cycle)
+        return FlashAttentionResult(
+            design=self.design,
+            workload=workload,
+            total_cycles=total_cycles,
+            ideal_mac_cycles=ideal,
+            counters=counters,
+            phase_cycles={"iteration": iteration_cycles * iterations},
+        )
+
+    def _counters(
+        self, workload: FlashAttentionWorkload, core_counters: Counters, tile_ops_per_core: int
+    ) -> Counters:
+        counters = Counters()
+        cluster = self.design.cluster
+        iterations = workload.iterations
+
+        per_iter = Counters()
+        per_iter.merge(core_counters.scaled(cluster.cores))
+        tile_ops = tile_ops_per_core * cluster.cores
+        per_tile = Counters()
+        self.tensor_core.record_tile_events(per_tile)
+        per_iter.merge(per_tile.scaled(tile_ops))
+        per_iter.add("matrix_unit.pe.macs", tile_ops * self.design.matrix_unit.tile_macs)
+
+        kv_bytes = 2 * workload.block_kv * workload.head_dim * 4
+        per_iter.add("dma.bytes", kv_bytes)
+        per_iter.add("dma.descriptors", 2)
+        per_iter.add("l2.bytes", kv_bytes)
+        per_iter.add("dram.bytes", kv_bytes)
+        per_iter.add("smem.dma.write_words", kv_bytes // 4)
+
+        counters.merge(per_iter.scaled(iterations))
+        return counters
+
+
+# --------------------------------------------------------------------------- #
+# Dispatcher
+# --------------------------------------------------------------------------- #
+
+
+def simulate_flash_attention(
+    design: DesignKind | DesignConfig,
+    workload: FlashAttentionWorkload | None = None,
+) -> FlashAttentionResult:
+    """Simulate FlashAttention-3 on Virgo or the Ampere-style baseline."""
+    workload = workload or FlashAttentionWorkload()
+    if isinstance(design, DesignKind):
+        if design is DesignKind.VIRGO:
+            return VirgoFlashAttentionKernel().simulate(workload)
+        if design is DesignKind.AMPERE:
+            return AmpereFlashAttentionKernel().simulate(workload)
+        design = make_design(design, DataType.FP32)
+    if design.style is IntegrationStyle.DISAGGREGATED:
+        return VirgoFlashAttentionKernel(design).simulate(workload)
+    if design.style is IntegrationStyle.TIGHTLY_COUPLED_DMA:
+        return AmpereFlashAttentionKernel(design).simulate(workload)
+    raise ValueError(
+        "the paper evaluates FlashAttention-3 on the Virgo and Ampere-style designs only"
+    )

@@ -1,0 +1,115 @@
+"""Functional (numerically verified) tiled GEMM on each matrix-unit model.
+
+These kernels execute the same tiling the timing models assume, but actually
+move numpy data through the functional matrix-unit models, so the end-to-end
+result can be checked against a numpy reference.  They are used by the test
+suite and the examples on small problem sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.soc import DesignConfig, IntegrationStyle
+from repro.core.gemmini import GemminiMatrixUnit
+from repro.sim.stats import Counters
+from repro.tensorcore.fragments import load_fragment
+from repro.tensorcore.hopper import HopperTensorCore
+from repro.tensorcore.volta import VoltaTensorCore
+
+
+def _check_shapes(a: np.ndarray, b: np.ndarray) -> None:
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"invalid GEMM operand shapes {a.shape} x {b.shape}")
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """FP32 reference with FP16 operand quantization (matches the units)."""
+    _check_shapes(a, b)
+    return a.astype(np.float16).astype(np.float32) @ b.astype(np.float16).astype(np.float32)
+
+
+def gemm_tightly_coupled(
+    design: DesignConfig, a: np.ndarray, b: np.ndarray, counters: Counters | None = None
+) -> np.ndarray:
+    """Tiled GEMM through the Volta/Ampere-style tensor core model."""
+    _check_shapes(a, b)
+    unit = design.matrix_unit
+    tensor_core = VoltaTensorCore(unit)
+    m, k = a.shape
+    n = b.shape[1]
+    if m % unit.tile_m or n % unit.tile_n or k % unit.tile_k:
+        raise ValueError(
+            f"dimensions must be multiples of the {unit.tile_m}x{unit.tile_n}x{unit.tile_k} tile"
+        )
+    result = np.zeros((m, n), dtype=np.float32)
+    for i in range(0, m, unit.tile_m):
+        for j in range(0, n, unit.tile_n):
+            accumulator = np.zeros((unit.tile_m, unit.tile_n), dtype=np.float32)
+            for kk in range(0, k, unit.tile_k):
+                a_frag = load_fragment(a, i, kk, unit.tile_m, unit.tile_k, unit.dtype)
+                b_frag = load_fragment(b, kk, j, unit.tile_k, unit.tile_n, unit.dtype)
+                accumulator = tensor_core.mma(a_frag, b_frag, accumulator, counters)
+            result[i : i + unit.tile_m, j : j + unit.tile_n] = accumulator
+    return result
+
+
+def gemm_operand_decoupled(
+    design: DesignConfig, a: np.ndarray, b: np.ndarray, counters: Counters | None = None
+) -> np.ndarray:
+    """Tiled GEMM through the Hopper-style operand-decoupled model."""
+    _check_shapes(a, b)
+    unit = design.matrix_unit
+    tensor_core = HopperTensorCore(unit, design.cluster.shared_memory)
+    m, k = a.shape
+    n = b.shape[1]
+    if m % unit.tile_m or n % unit.tile_n or k % unit.tile_k:
+        raise ValueError(
+            f"dimensions must be multiples of the {unit.tile_m}x{unit.tile_n}x{unit.tile_k} tile"
+        )
+    result = np.zeros((m, n), dtype=np.float32)
+    for i in range(0, m, unit.tile_m):
+        for j in range(0, n, unit.tile_n):
+            accumulator = np.zeros((unit.tile_m, unit.tile_n), dtype=np.float32)
+            for kk in range(0, k, unit.tile_k):
+                a_frag = load_fragment(a, i, kk, unit.tile_m, unit.tile_k, unit.dtype, "shared")
+                b_frag = load_fragment(b, kk, j, unit.tile_k, unit.tile_n, unit.dtype, "shared")
+                accumulator = tensor_core.wgmma(a_frag, b_frag, accumulator, counters)
+            result[i : i + unit.tile_m, j : j + unit.tile_n] = accumulator
+    return result
+
+
+def gemm_disaggregated(
+    design: DesignConfig, a: np.ndarray, b: np.ndarray, counters: Counters | None = None
+) -> np.ndarray:
+    """Tiled GEMM through Virgo's Gemmini-based cluster matrix unit."""
+    _check_shapes(a, b)
+    unit = design.matrix_unit
+    matrix_unit = GemminiMatrixUnit(unit, design.cluster.shared_memory)
+    m, k = a.shape
+    n = b.shape[1]
+    block_m = min(unit.tile_m, m)
+    block_n = min(unit.tile_n, n)
+    block_k = min(unit.tile_k, k)
+    result = np.zeros((m, n), dtype=np.float32)
+    for i in range(0, m, block_m):
+        for j in range(0, n, block_n):
+            accumulator = np.zeros((min(block_m, m - i), min(block_n, n - j)), dtype=np.float32)
+            for kk in range(0, k, block_k):
+                a_block = a[i : i + block_m, kk : kk + block_k]
+                b_block = b[kk : kk + block_k, j : j + block_n]
+                partial = matrix_unit.compute(a_block, b_block, counters=counters)
+                accumulator = accumulator + partial
+            result[i : i + block_m, j : j + block_n] = accumulator
+    return result
+
+
+def gemm_functional(
+    design: DesignConfig, a: np.ndarray, b: np.ndarray, counters: Counters | None = None
+) -> np.ndarray:
+    """Dispatch to the functional GEMM of ``design``'s integration style."""
+    if design.style in (IntegrationStyle.TIGHTLY_COUPLED, IntegrationStyle.TIGHTLY_COUPLED_DMA):
+        return gemm_tightly_coupled(design, a, b, counters)
+    if design.style is IntegrationStyle.OPERAND_DECOUPLED:
+        return gemm_operand_decoupled(design, a, b, counters)
+    return gemm_disaggregated(design, a, b, counters)

@@ -1,0 +1,186 @@
+"""GEMM kernel model for the operand-decoupled (Hopper-style) design.
+
+The matrix unit reads its operands directly from shared memory and is driven
+by an asynchronous initiate/wait instruction pair, so the warps' instruction
+streams shrink dramatically compared to the tightly-coupled designs.  What
+remains per tile operation is:
+
+* the two driving instructions plus loop/address bookkeeping,
+* the accumulator tile's read-modify-write through the register file around
+  every operation (the residual register pressure Hopper does not remove),
+* the exposed portion of the shared-memory streaming latency.
+
+Data delivery uses the cluster DMA (double buffered), and the final output
+tile is stored from the register file to global memory by SIMT stores.
+"""
+
+from __future__ import annotations
+
+from repro.config.soc import DesignConfig, IntegrationStyle
+from repro.kernels.gemm.base import GemmKernelResult, GemmWorkload, ideal_mac_cycles
+from repro.kernels.gemm.instruction_streams import hopper_iteration_streams
+from repro.kernels.gemm.tiling import ThreadBlockTiling, tiling_for_design
+from repro.memory.dma import DmaEngine
+from repro.memory.dram import DramChannel
+from repro.sim.resources import Resource
+from repro.sim.stats import Counters
+from repro.sim.taskgraph import OperationGraph
+from repro.simt.core import VortexCore
+from repro.tensorcore.hopper import HopperTensorCore
+
+
+class OperandDecoupledGemmKernel:
+    """Tiled GEMM on the Hopper-style design."""
+
+    #: Cycles of accumulator register-file read-modify-write exposed per tile
+    #: operation (a 16x16 FP32 tile drained through the 8-lane writeback path).
+    ACCUMULATOR_DRAIN_CYCLES = 32
+
+    def __init__(self, design: DesignConfig) -> None:
+        if design.style is not IntegrationStyle.OPERAND_DECOUPLED:
+            raise ValueError("this kernel models the operand-decoupled design")
+        self.design = design
+        self.tensor_core = HopperTensorCore(
+            design.matrix_unit, design.cluster.shared_memory
+        )
+        self.core = VortexCore(design.cluster.core)
+        self.dram = DramChannel(design.soc.dram)
+        self.dma = DmaEngine(design.cluster.dma, self.dram)
+
+    # ------------------------------------------------------------------ #
+    # Steady-state iteration
+    # ------------------------------------------------------------------ #
+
+    def _iteration(self, tiling: ThreadBlockTiling):
+        streams = hopper_iteration_streams(self.design, tiling, self.tensor_core)
+        execution = self.core.execute(streams.programs_for_core())
+
+        # Matrix-unit occupancy per core: the per-core unit serializes the
+        # tile operations of all its warps.
+        operation = self.tensor_core.tile_operation()
+        unit_cycles = streams.tile_ops_per_core * (
+            operation.compute_cycles + self.ACCUMULATOR_DRAIN_CYCLES
+        ) + operation.exposed_latency
+
+        compute_cycles = max(execution.cycles, unit_cycles)
+        dma_cycles = self.dma.transfer_cycles(tiling.input_bytes_per_iteration)
+        dram_cycles = self.dram.transfer_cycles(
+            tiling.input_bytes_per_iteration, include_latency=False
+        )
+
+        counters = self._iteration_counters(streams, execution.counters, tiling)
+        instructions = streams.instructions_per_core() * self.design.cluster.cores
+        return streams, compute_cycles, max(dma_cycles, dram_cycles), counters, instructions
+
+    def _iteration_counters(self, streams, core_counters: Counters, tiling) -> Counters:
+        counters = Counters()
+        counters.merge(core_counters.scaled(self.design.cluster.cores))
+        tile_ops = streams.tile_ops_per_core * self.design.cluster.cores
+        per_tile = Counters()
+        self.tensor_core.record_tile_events(per_tile)
+        counters.merge(per_tile.scaled(tile_ops))
+        counters.add("matrix_unit.pe.macs", tile_ops * self.design.matrix_unit.tile_macs)
+        nbytes = tiling.input_bytes_per_iteration
+        counters.add("l2.bytes", nbytes)
+        counters.add("dram.bytes", nbytes)
+        counters.add("dma.bytes", nbytes)
+        counters.add("dma.descriptors", 2)
+        counters.add("smem.dma.write_words", nbytes // 4)
+        return counters
+
+    def _epilogue(self, tiling: ThreadBlockTiling):
+        """Per-output-tile boundary work.
+
+        Three costs appear at the end of every output tile's K loop: the
+        final wgmma's latency is fully exposed (no further operations to
+        overlap it with), the accumulator tiles are stored from the register
+        file to global memory, and the accumulators are zero-initialized for
+        the next output tile.
+        """
+        nbytes = tiling.output_tile_bytes
+        store_instructions = -(-nbytes // 32) * 2
+        cluster = self.design.cluster
+        issue_cycles = -(-store_instructions // cluster.cores)
+        dram_cycles = self.dram.transfer_cycles(nbytes, include_latency=False)
+        drain_cycles = self.tensor_core.tile_busy_cycles() + self.ACCUMULATOR_DRAIN_CYCLES
+
+        elements_per_core = tiling.block_m * tiling.block_n // cluster.cores
+        init_instructions_per_core = -(-elements_per_core // cluster.core.lanes)
+        cycles = drain_cycles + max(issue_cycles, dram_cycles) + init_instructions_per_core
+
+        counters = Counters()
+        init_instructions = init_instructions_per_core * cluster.cores
+        counters.add("core.issue.instructions", store_instructions + init_instructions)
+        counters.add("core.alu.ops", init_instructions * cluster.core.lanes)
+        counters.add("core.writeback.rf_write_words", init_instructions * cluster.core.lanes)
+        counters.add("core.lsu.requests", store_instructions // 2)
+        counters.add("core.issue.rf_read_words", store_instructions * cluster.core.lanes)
+        counters.add("l2.bytes", nbytes)
+        counters.add("dram.bytes", nbytes)
+        return cycles, counters, store_instructions + init_instructions
+
+    # ------------------------------------------------------------------ #
+    # Whole-kernel simulation
+    # ------------------------------------------------------------------ #
+
+    def simulate(self, workload: GemmWorkload) -> GemmKernelResult:
+        tiling = tiling_for_design(self.design, workload)
+        streams, compute_cycles, dma_cycles, iter_counters, iter_instructions = self._iteration(
+            tiling
+        )
+        epilogue_cycles, epilogue_counters, epilogue_instructions = self._epilogue(tiling)
+
+        graph = OperationGraph()
+        graph.add_resource(Resource("compute"))
+        graph.add_resource(Resource("dma"))
+
+        compute_history = []
+        previous_compute = None
+        # Each cluster works on its share of the (M, N) output tiles; the
+        # slowest cluster's schedule determines the kernel runtime.
+        cluster_tiles = tiling.output_tiles_per_cluster(self.design.soc.clusters)
+        for tile in range(cluster_tiles):
+            for k in range(tiling.k_iterations):
+                load_name = f"load.t{tile}.k{k}"
+                # Double buffering: fetch ahead while the compute two
+                # iterations back still occupies the other buffer half.  The
+                # first load of a new output tile cannot be prefetched -- its
+                # panel addresses are only programmed after the previous
+                # tile's epilogue (accumulator store) has retired.
+                if k == 0 and previous_compute is not None:
+                    load_deps = [previous_compute]
+                else:
+                    load_deps = [compute_history[-2]] if len(compute_history) >= 2 else []
+                graph.add_operation(load_name, "dma", dma_cycles, deps=load_deps, kind="dma")
+                deps = [load_name]
+                if previous_compute:
+                    deps.append(previous_compute)
+                name = f"compute.t{tile}.k{k}"
+                graph.add_operation(name, "compute", compute_cycles, deps=deps, kind="compute")
+                previous_compute = name
+                compute_history.append(name)
+            graph.add_operation(
+                f"store.t{tile}",
+                "compute",
+                epilogue_cycles,
+                deps=[previous_compute],
+                kind="epilogue",
+            )
+            previous_compute = f"store.t{tile}"
+
+        schedule = graph.schedule()
+        iterations = tiling.total_iterations
+        counters = iter_counters.scaled(iterations)
+        counters.merge(epilogue_counters.scaled(tiling.output_tiles))
+        instructions = iter_instructions * iterations + epilogue_instructions * tiling.output_tiles
+
+        return GemmKernelResult(
+            design=self.design,
+            workload=workload,
+            total_cycles=schedule.total_cycles,
+            ideal_mac_cycles=ideal_mac_cycles(self.design, workload),
+            counters=counters,
+            retired_instructions=instructions,
+            iteration_cycles=compute_cycles,
+            phase_cycles=schedule.critical_kind_cycles(),
+        )

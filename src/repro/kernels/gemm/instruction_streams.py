@@ -1,0 +1,211 @@
+"""Per-warp instruction stream builders for the GEMM kernels.
+
+Each builder produces the steady-state instruction stream one warp issues
+during a single K-loop iteration of the tiled GEMM, for a given design.  The
+streams drive both the issue-stage timing simulation and the per-instruction
+energy accounting, and their lengths determine the retired-instruction
+comparison of Section 6.1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.soc import DesignConfig, IntegrationStyle
+from repro.isa.instructions import OpClass
+from repro.isa.program import WarpProgram
+from repro.kernels.gemm.tiling import ThreadBlockTiling
+from repro.tensorcore.volta import VoltaTensorCore
+from repro.tensorcore.hopper import HopperTensorCore
+
+
+@dataclass
+class IterationStreams:
+    """Warp programs for one steady-state K iteration on one core."""
+
+    #: Program executed by each compute warp of the core.
+    compute_warp: WarpProgram
+    #: Extra program executed by the core's warp 0 (DMA programming, MMIO).
+    leader_extra: WarpProgram
+    #: Number of matrix-unit tile operations one core performs per iteration.
+    tile_ops_per_core: int
+    #: Number of warps per core that execute ``compute_warp``.
+    warps_per_core: int
+
+    def programs_for_core(self) -> list:
+        """The per-warp programs handed to the issue simulator."""
+        programs = []
+        for warp in range(self.warps_per_core):
+            program = WarpProgram(name=f"warp{warp}")
+            program.extend(self.compute_warp)
+            if warp == 0:
+                program.extend(self.leader_extra)
+            programs.append(program)
+        return programs
+
+    def instructions_per_core(self) -> int:
+        return len(self.compute_warp) * self.warps_per_core + len(self.leader_extra)
+
+
+def _copy_loop(program: WarpProgram, nbytes_per_warp: int, blocking: bool) -> None:
+    """Global -> shared copy executed by one warp (no-DMA designs).
+
+    Each step moves one 4-byte word per lane (32 bytes per warp instruction
+    after coalescing): address generation, a global load, and a shared store.
+    """
+    bytes_per_instruction = 32
+    steps = max(0, -(-nbytes_per_warp // bytes_per_instruction))
+    for _ in range(steps):
+        program.emit_class(OpClass.ALU, reg_reads=2, reg_writes=1)
+        program.emit_class(
+            OpClass.LOAD_GLOBAL, reg_reads=1, reg_writes=1, bytes_accessed=bytes_per_instruction
+        )
+        program.emit_class(
+            OpClass.STORE_SHARED, reg_reads=2, reg_writes=0, bytes_accessed=bytes_per_instruction
+        )
+
+
+def _fragment_loads(program: WarpProgram, fragment_bytes: int, lanes: int) -> None:
+    """Shared-memory -> register-file fragment loads for one operand.
+
+    Address generation is amortized: one add covers two loads (the second
+    load uses an immediate offset from the same base register).
+    """
+    bytes_per_instruction = 4 * lanes
+    loads = max(1, -(-fragment_bytes // bytes_per_instruction))
+    for index in range(loads):
+        if index % 2 == 0:
+            program.emit_class(OpClass.ALU, reg_reads=2, reg_writes=1)
+        program.emit_class(
+            OpClass.LOAD_SHARED, reg_reads=1, reg_writes=1, bytes_accessed=bytes_per_instruction
+        )
+
+
+def volta_iteration_streams(
+    design: DesignConfig,
+    tiling: ThreadBlockTiling,
+    tensor_core: VoltaTensorCore,
+    include_copy: bool,
+) -> IterationStreams:
+    """Streams for the tightly-coupled designs (Volta-style, Ampere-style).
+
+    ``include_copy`` distinguishes Volta (SIMT-instruction data delivery)
+    from Ampere (DMA data delivery: the copy loop disappears and the leader
+    warp programs the DMA instead).
+    """
+    cluster = design.cluster
+    unit = design.matrix_unit
+    lanes = cluster.core.lanes
+    warps = cluster.core.warps
+
+    tile_ops_per_iteration = tiling.macs_per_iteration // unit.tile_macs
+    tile_ops_per_core = max(1, tile_ops_per_iteration // cluster.cores)
+    tile_ops_per_warp = max(1, tile_ops_per_core // warps)
+
+    compute = WarpProgram(name="volta_compute")
+    sequence = tensor_core.hmma_sequence()
+    a_fragment_bytes = unit.tile_m * unit.tile_k * unit.dtype.bytes
+    b_fragment_bytes = unit.tile_k * unit.tile_n * unit.dtype.bytes
+    for _ in range(tile_ops_per_warp):
+        # Tile base address computation for A, B and the accumulator.
+        compute.emit_class(OpClass.ALU, repeat=4, reg_reads=2, reg_writes=1)
+        _fragment_loads(compute, a_fragment_bytes, lanes)
+        _fragment_loads(compute, b_fragment_bytes, lanes)
+        for instruction in sequence.as_instructions():
+            compute.emit(instruction)
+        # K-loop bookkeeping.
+        compute.emit_class(OpClass.ALU, repeat=2)
+        compute.emit_class(OpClass.BRANCH, repeat=1, reg_reads=1, reg_writes=0)
+
+    if include_copy:
+        copy_bytes_per_warp = -(-tiling.input_bytes_per_iteration // (cluster.cores * warps))
+        _copy_loop(compute, copy_bytes_per_warp, blocking=True)
+
+    compute.emit_class(OpClass.VX_BAR, repeat=1, reg_reads=0, reg_writes=0)
+
+    leader = WarpProgram(name="volta_leader")
+    if not include_copy:
+        # Ampere-style: warp 0 programs the cluster DMA for the next K tile.
+        leader.emit_class(OpClass.DMA_PROGRAM, repeat=4, reg_reads=2, reg_writes=0)
+        leader.emit_class(OpClass.ALU, repeat=2)
+
+    return IterationStreams(
+        compute_warp=compute,
+        leader_extra=leader,
+        tile_ops_per_core=tile_ops_per_core,
+        warps_per_core=warps,
+    )
+
+
+def hopper_iteration_streams(
+    design: DesignConfig,
+    tiling: ThreadBlockTiling,
+    tensor_core: HopperTensorCore,
+) -> IterationStreams:
+    """Streams for the operand-decoupled (Hopper-style) design.
+
+    The unit is driven by two instructions per tile operation (initiate and
+    wait); operands come straight from shared memory so no fragment loads
+    appear in the stream.  The accumulator tile still occupies the register
+    file; its read-modify-write traffic is attached to the wait instruction.
+    """
+    cluster = design.cluster
+    unit = design.matrix_unit
+    warps = cluster.core.warps
+
+    tile_ops_per_iteration = tiling.macs_per_iteration // unit.tile_macs
+    tile_ops_per_core = max(1, tile_ops_per_iteration // cluster.cores)
+    tile_ops_per_warp = max(1, tile_ops_per_core // warps)
+
+    compute = WarpProgram(name="hopper_compute")
+    for _ in range(tile_ops_per_warp):
+        compute.emit_class(OpClass.ALU, repeat=4, reg_reads=2, reg_writes=1)
+        for instruction in tensor_core.instruction_sequence():
+            compute.emit(instruction)
+        compute.emit_class(OpClass.ALU, repeat=2)
+        compute.emit_class(OpClass.BRANCH, repeat=1, reg_reads=1, reg_writes=0)
+    compute.emit_class(OpClass.VX_BAR, repeat=1, reg_reads=0, reg_writes=0)
+
+    leader = WarpProgram(name="hopper_leader")
+    leader.emit_class(OpClass.DMA_PROGRAM, repeat=4, reg_reads=2, reg_writes=0)
+    leader.emit_class(OpClass.ALU, repeat=2)
+
+    return IterationStreams(
+        compute_warp=compute,
+        leader_extra=leader,
+        tile_ops_per_core=tile_ops_per_core,
+        warps_per_core=warps,
+    )
+
+
+def virgo_iteration_streams(design: DesignConfig, tiling: ThreadBlockTiling) -> IterationStreams:
+    """Streams for Virgo: MMIO programming, DMA programming, fence polling.
+
+    A single leader warp drives the matrix unit; the remaining warps only
+    participate in the cluster-wide barrier (in a pure GEMM the SIMT cores
+    have no per-element work, which is exactly why Virgo's instruction count
+    collapses to a fraction of the baselines').
+    """
+    cluster = design.cluster
+    warps = cluster.core.warps
+
+    compute = WarpProgram(name="virgo_worker")
+    compute.emit_class(OpClass.ALU, repeat=2)
+    compute.emit_class(OpClass.VX_BAR, repeat=1, reg_reads=0, reg_writes=0)
+
+    leader = WarpProgram(name="virgo_leader")
+    # Program the matrix unit operation over MMIO: operand addresses,
+    # dimensions, accumulate flag, start.
+    leader.emit_class(OpClass.ALU, repeat=4)
+    leader.emit_class(OpClass.MMIO_STORE, repeat=6, reg_reads=2, reg_writes=0, bytes_accessed=4)
+    # Program the DMA for the next iteration's tiles.
+    leader.emit_class(OpClass.DMA_PROGRAM, repeat=4, reg_reads=2, reg_writes=0)
+    # virgo_fence: poll the busy register a handful of times.
+    leader.emit_class(OpClass.MMIO_POLL, repeat=3, reg_reads=1, reg_writes=1, bytes_accessed=4)
+
+    return IterationStreams(
+        compute_warp=compute,
+        leader_extra=leader,
+        tile_ops_per_core=0,
+        warps_per_core=warps,
+    )

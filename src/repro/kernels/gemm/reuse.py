@@ -1,0 +1,113 @@
+"""Shared-memory data-reuse / read-footprint model (Table 4).
+
+Table 4 compares the total bytes read from shared memory while computing the
+256x256x256 GEMM across the three matrix-unit organizations.  The footprint
+is determined by how often each operand element must be re-read, which in
+turn depends on:
+
+* the **tile fragment** held inside the matrix unit (operand buffers for the
+  tensor cores, the systolic mesh registers for Virgo): an A element is
+  reused across the ``n`` extent covered while it is staged, a B element
+  across the staged ``m`` extent;
+* whether units are **per-core or unified**: per-core units computing output
+  tiles along the same row/column of the thread block each re-read the same
+  operand data, while Virgo's single cluster-level unit streams the B panel
+  of an entire 128-row operation tile exactly once.
+
+The reuse extents below reproduce the mechanisms of Section 6.1.3:
+
+=====================  ==============  ==============  =========================
+Design                 A reuse extent  B reuse extent  Rationale
+=====================  ==============  ==============  =========================
+Tightly-coupled          16              8             warp computes an 8x16
+                                                       output strip, reusing its
+                                                       A fragment across two 8x8
+                                                       accumulators; B fragment
+                                                       reused across its 8 rows
+Operand-decoupled        16             16             one 16x16 accumulator
+                                                       per warp
+Disaggregated            16 (mesh cols) 128 (op tile m) unified unit streams B
+                                                       once per operation tile
+=====================  ==============  ==============  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.soc import DesignConfig, IntegrationStyle
+from repro.kernels.gemm.base import GemmWorkload
+
+
+@dataclass(frozen=True)
+class ReuseExtents:
+    """How far each operand element is reused before being re-read from SMEM."""
+
+    a_reuse_n: int
+    b_reuse_m: int
+    fragment_rows: int
+    fragment_cols: int
+
+
+def reuse_extents(design: DesignConfig) -> ReuseExtents:
+    """Reuse extents implied by the design's matrix-unit organization."""
+    unit = design.matrix_unit
+    if design.style in (
+        IntegrationStyle.TIGHTLY_COUPLED,
+        IntegrationStyle.TIGHTLY_COUPLED_DMA,
+    ):
+        # Warp-level output strip of tile_m x (2 * tile_n): the A fragment is
+        # reused across two adjacent accumulator tiles (the second 8x8
+        # accumulator still fits in the 1 KiB per-warp register slice).
+        return ReuseExtents(
+            a_reuse_n=2 * unit.tile_n,
+            b_reuse_m=unit.tile_m,
+            fragment_rows=unit.tile_m,
+            fragment_cols=unit.tile_n,
+        )
+    if design.style is IntegrationStyle.OPERAND_DECOUPLED:
+        return ReuseExtents(
+            a_reuse_n=unit.tile_n,
+            b_reuse_m=unit.tile_m,
+            fragment_rows=unit.tile_m,
+            fragment_cols=unit.tile_n,
+        )
+    # Disaggregated: the A panel is re-streamed once per mesh-column group of
+    # outputs; the B panel is streamed exactly once per operation tile.
+    return ReuseExtents(
+        a_reuse_n=unit.systolic_cols,
+        b_reuse_m=unit.tile_m,
+        fragment_rows=unit.systolic_rows,
+        fragment_cols=unit.systolic_cols,
+    )
+
+
+def smem_read_footprint_bytes(design: DesignConfig, workload: GemmWorkload) -> int:
+    """Total bytes read from shared memory for the whole GEMM."""
+    extents = reuse_extents(design)
+    elem = workload.dtype.bytes
+    a_reads = workload.macs // extents.a_reuse_n  # A elements re-read per n-extent
+    b_reads = workload.macs // extents.b_reuse_m
+    return elem * (a_reads + b_reads)
+
+
+def smem_footprint_table(
+    designs: Dict[str, DesignConfig], workload: GemmWorkload
+) -> Dict[str, Dict[str, float]]:
+    """Table 4: footprint in MiB and normalized to the smallest entry."""
+    footprints = {
+        name: smem_read_footprint_bytes(design, workload) for name, design in designs.items()
+    }
+    smallest = min(footprints.values())
+    return {
+        name: {
+            "mib": value / (1024.0 * 1024.0),
+            "normalized": value / smallest,
+            "fragment": (
+                f"{reuse_extents(designs[name]).fragment_rows}x"
+                f"{reuse_extents(designs[name]).fragment_cols}"
+            ),
+        }
+        for name, value in footprints.items()
+    }

@@ -1,0 +1,26 @@
+"""Memory system substrates: DRAM, caches, coalescer, shared memory, DMA."""
+
+from repro.memory.address import MatrixLayout, TileSpec, tile_addresses
+from repro.memory.dram import DramChannel
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.coalescer import Coalescer, CoalesceResult
+from repro.memory.shared_memory import BankedSharedMemory, AccessResult
+from repro.memory.dma import DmaEngine, DmaTransfer
+from repro.memory.interconnect import SharedMemoryInterconnect, RequestBundle
+
+__all__ = [
+    "MatrixLayout",
+    "TileSpec",
+    "tile_addresses",
+    "DramChannel",
+    "Cache",
+    "CacheStats",
+    "Coalescer",
+    "CoalesceResult",
+    "BankedSharedMemory",
+    "AccessResult",
+    "DmaEngine",
+    "DmaTransfer",
+    "SharedMemoryInterconnect",
+    "RequestBundle",
+]

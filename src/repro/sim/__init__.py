@@ -1,0 +1,19 @@
+"""Simulation substrate: event queue, contended resources, operation graphs, stats."""
+
+from repro.sim.stats import Counters
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.resources import Resource, ThroughputResource
+from repro.sim.taskgraph import Operation, OperationGraph, ScheduleResult, schedule_graph
+
+__all__ = [
+    "Counters",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Resource",
+    "ThroughputResource",
+    "Operation",
+    "OperationGraph",
+    "ScheduleResult",
+    "schedule_graph",
+]

@@ -1,0 +1,128 @@
+"""A small discrete-event simulation engine.
+
+Components schedule callbacks at future cycle times; the :class:`Simulator`
+drains the queue in time order.  The engine is deliberately minimal: kernel
+models in this package mostly use the coarser operation-graph scheduler in
+:mod:`repro.sim.taskgraph`, but fine-grained component models (the shared
+memory interconnect, the DMA engine, the synchronizer) use the event engine
+for cycle-level interactions in their unit tests and detailed modes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is (time, sequence number)."""
+
+    time: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when dequeued."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+
+    def push(self, time: int, callback: Callable[[], None]) -> Event:
+        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class Simulator:
+    """Drains an :class:`EventQueue` in cycle order.
+
+    The simulator exposes ``now`` (the current cycle), :meth:`schedule` for
+    relative delays, :meth:`at` for absolute times, and :meth:`run` which
+    executes until the queue is empty or an optional cycle limit is reached.
+    """
+
+    def __init__(self, max_cycles: int = 1_000_000_000) -> None:
+        self.now = 0
+        self.max_cycles = max_cycles
+        self._queue = EventQueue()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        return self._queue.push(self.now + delay, callback)
+
+    def at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at cycle {time}, already at {self.now}")
+        return self._queue.push(time, callback)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or the cycle limit hits.
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            if next_time > self.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={self.max_cycles}; likely a livelock"
+                )
+            event = self._queue.pop()
+            if event is None:
+                break
+            self.now = event.time
+            self._events_processed += 1
+            event.callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.now = event.time
+        self._events_processed += 1
+        event.callback()
+        return True

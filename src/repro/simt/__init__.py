@@ -1,0 +1,33 @@
+"""Vortex-like SIMT core models.
+
+The package provides two levels of modelling:
+
+* A cycle-level issue-stage simulator (:mod:`repro.simt.issue`) that replays
+  per-warp instruction streams through a warp scheduler with structural and
+  latency hazards.  Kernel models use it to determine how many cycles a core
+  needs to issue one steady-state iteration.
+* Analytical helpers: the register-file capacity model and the occupancy
+  calculator used to regenerate Table 1.
+"""
+
+from repro.simt.warp import WarpState
+from repro.simt.scheduler import RoundRobinScheduler, GreedyThenOldestScheduler
+from repro.simt.register_file import RegisterFile, TileAllocation
+from repro.simt.issue import IssueResult, IssueSimulator
+from repro.simt.core import VortexCore, CoreExecutionResult
+from repro.simt.occupancy import OccupancyCalculator, OccupancyResult, GpuGenerationSpec
+
+__all__ = [
+    "WarpState",
+    "RoundRobinScheduler",
+    "GreedyThenOldestScheduler",
+    "RegisterFile",
+    "TileAllocation",
+    "IssueResult",
+    "IssueSimulator",
+    "VortexCore",
+    "CoreExecutionResult",
+    "OccupancyCalculator",
+    "OccupancyResult",
+    "GpuGenerationSpec",
+]

@@ -1,0 +1,121 @@
+"""The Vortex SIMT core: issue timing plus energy-event accounting.
+
+``VortexCore.execute`` replays a set of warp programs through the issue-stage
+simulator and, alongside the cycle count, emits the energy events the core
+generates while doing so.  Event names follow the component grouping of the
+paper's Figure 10 breakdown:
+
+* ``core.issue.*``      -- instruction fetch/decode/scoreboard/scheduling and
+  register-file reads (operand collection happens at issue in Vortex).
+* ``core.alu.*``        -- integer ALU operations (address generation, loops).
+* ``core.fpu.*``        -- SIMT floating-point operations.
+* ``core.lsu.*``        -- load/store unit occupancy.
+* ``core.writeback.*``  -- register-file writes.
+* ``core.other.*``      -- branches, barriers, everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.config.soc import CoreConfig
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import WarpProgram
+from repro.sim.stats import Counters
+from repro.simt.issue import IssueResult, IssueSimulator
+
+#: Map from instruction class to the Figure 10 component that executes it.
+_EXECUTION_COMPONENT: Dict[OpClass, str] = {
+    OpClass.ALU: "alu",
+    OpClass.BRANCH: "other",
+    OpClass.FPU: "fpu",
+    OpClass.SFU: "fpu",
+    OpClass.LOAD_GLOBAL: "lsu",
+    OpClass.STORE_GLOBAL: "lsu",
+    OpClass.LOAD_SHARED: "lsu",
+    OpClass.STORE_SHARED: "lsu",
+    OpClass.MMIO_STORE: "lsu",
+    OpClass.MMIO_POLL: "lsu",
+    OpClass.DMA_PROGRAM: "lsu",
+    OpClass.BARRIER: "other",
+    OpClass.VX_BAR: "other",
+    OpClass.HMMA_SET: "other",
+    OpClass.HMMA_STEP: "other",
+    OpClass.WGMMA_INIT: "other",
+    OpClass.WGMMA_WAIT: "other",
+    OpClass.NOP: "other",
+}
+
+
+@dataclass
+class CoreExecutionResult:
+    """Cycles and energy events for one core executing a set of warp programs."""
+
+    issue: IssueResult
+    counters: Counters
+
+    @property
+    def cycles(self) -> int:
+        return self.issue.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.issue.instructions_issued
+
+
+class VortexCore:
+    """One Vortex SIMT core: issue timing + per-instruction energy events."""
+
+    def __init__(self, config: CoreConfig, scheduler: str = "round_robin") -> None:
+        self.config = config
+        self._issue_simulator = IssueSimulator(config, scheduler=scheduler)
+
+    def execute(self, programs: Sequence[WarpProgram]) -> CoreExecutionResult:
+        """Replay ``programs`` (one per active warp) and collect energy events."""
+        issue = self._issue_simulator.simulate(programs)
+        counters = Counters()
+        for program in programs:
+            self._count_program(program, counters)
+        return CoreExecutionResult(issue=issue, counters=counters)
+
+    def count_events(self, programs: Sequence[WarpProgram]) -> Counters:
+        """Energy events only (no timing), for analytical replication."""
+        counters = Counters()
+        for program in programs:
+            self._count_program(program, counters)
+        return counters
+
+    def _count_program(self, program: WarpProgram, counters: Counters) -> None:
+        lanes = self.config.lanes
+        for instruction in program.instructions:
+            self._count_instruction(instruction, lanes, counters)
+
+    def _count_instruction(
+        self, instruction: Instruction, lanes: int, counters: Counters
+    ) -> None:
+        counters.add("core.issue.instructions", 1)
+        # Operand collection: register reads are per-lane for SIMT operands.
+        counters.add("core.issue.rf_read_words", instruction.reg_reads * lanes)
+        counters.add("core.writeback.rf_write_words", instruction.reg_writes * lanes)
+
+        component = _EXECUTION_COMPONENT[instruction.op_class]
+        if component == "alu":
+            counters.add("core.alu.ops", lanes)
+        elif component == "fpu":
+            counters.add("core.fpu.ops", lanes)
+        elif component == "lsu":
+            counters.add("core.lsu.requests", 1)
+            counters.add("core.lsu.bytes", instruction.bytes_accessed)
+        else:
+            counters.add("core.other.ops", 1)
+
+        if instruction.op_class in (OpClass.LOAD_SHARED, OpClass.STORE_SHARED):
+            counters.add("smem.core_words", max(1, instruction.bytes_accessed // 4))
+        elif instruction.op_class in (OpClass.LOAD_GLOBAL, OpClass.STORE_GLOBAL):
+            counters.add("l1.requests", 1)
+            counters.add("l1.bytes", instruction.bytes_accessed)
+
+    def issue_cycles(self, programs: Sequence[WarpProgram]) -> int:
+        """Cycles needed to issue ``programs`` on this core."""
+        return self._issue_simulator.simulate(programs).cycles

@@ -1,0 +1,114 @@
+"""Register file capacity model.
+
+The register file is SIMT-privatized across warps (Section 3.2.2): each warp
+owns ``fp_bytes / warps`` bytes.  Core-coupled matrix units must fit both
+operand fragments and the accumulator tile inside that per-warp slice, which
+is exactly the scalability constraint Virgo removes.  The model exposes the
+largest tile a given integration style can support, and tracks allocations so
+tests can exercise the capacity and spill behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.config.soc import DataType, RegisterFileConfig
+
+
+class RegisterAllocationError(Exception):
+    """Raised when an allocation does not fit in the per-warp register space."""
+
+
+@dataclass
+class TileAllocation:
+    """One named allocation inside a warp's register slice."""
+
+    name: str
+    bytes: int
+
+
+@dataclass
+class RegisterFile:
+    """Per-core register file with per-warp privatized slices."""
+
+    config: RegisterFileConfig
+    warps: int
+    _allocations: Dict[int, List[TileAllocation]] = field(default_factory=dict)
+
+    @property
+    def bytes_per_warp(self) -> int:
+        return self.config.bytes_per_warp(self.warps)
+
+    def allocated_bytes(self, warp_id: int) -> int:
+        return sum(item.bytes for item in self._allocations.get(warp_id, []))
+
+    def free_bytes(self, warp_id: int) -> int:
+        return self.bytes_per_warp - self.allocated_bytes(warp_id)
+
+    def allocate(self, warp_id: int, name: str, nbytes: int) -> TileAllocation:
+        """Reserve ``nbytes`` in ``warp_id``'s slice or raise if it does not fit."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.free_bytes(warp_id):
+            raise RegisterAllocationError(
+                f"warp {warp_id}: cannot allocate {nbytes} B ({name}); "
+                f"only {self.free_bytes(warp_id)} B of {self.bytes_per_warp} B free"
+            )
+        allocation = TileAllocation(name=name, bytes=nbytes)
+        self._allocations.setdefault(warp_id, []).append(allocation)
+        return allocation
+
+    def release(self, warp_id: int, name: str) -> None:
+        items = self._allocations.get(warp_id, [])
+        for index, item in enumerate(items):
+            if item.name == name:
+                del items[index]
+                return
+        raise KeyError(f"warp {warp_id} has no allocation named {name!r}")
+
+    def reset(self) -> None:
+        self._allocations.clear()
+
+
+def max_tile_for_register_space(
+    bytes_per_warp: int,
+    dtype: DataType,
+    operands_in_register_file: bool,
+    accumulator_in_register_file: bool,
+    square_k_factor: int = 2,
+) -> Tuple[int, int, int]:
+    """Largest square-ish (m, n, k) tile that fits in a warp's register slice.
+
+    This reproduces the paper's tile-size derivations (Section 5.1): with 1 KiB
+    of per-warp FP register space, a tightly-coupled unit fits two 8x16 FP16
+    operands plus an 8x8 FP32 accumulator (tile 8x8x16); an operand-decoupled
+    unit, which only keeps the accumulator in registers, fits a 16x16 FP32
+    accumulator (tile 16x16x32 with k = ``square_k_factor`` * m).
+
+    The search assumes m == n and k == square_k_factor * m, doubling m until
+    the footprint no longer fits.
+    """
+    if bytes_per_warp <= 0:
+        raise ValueError("bytes_per_warp must be positive")
+    accum_bytes_per_elem = 4  # accumulators are FP32 in all designs
+    best = (0, 0, 0)
+    m = 1
+    while m <= 1024:
+        n = m
+        k = square_k_factor * m
+        footprint = 0
+        if operands_in_register_file:
+            footprint += dtype.bytes * (m * k + k * n)
+        if accumulator_in_register_file:
+            footprint += accum_bytes_per_elem * m * n
+        if footprint <= bytes_per_warp:
+            best = (m, n, k)
+            m *= 2
+        else:
+            break
+    if best == (0, 0, 0):
+        raise RegisterAllocationError(
+            f"no tile fits in {bytes_per_warp} B of per-warp register space"
+        )
+    return best

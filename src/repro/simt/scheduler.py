@@ -1,0 +1,54 @@
+"""Warp scheduling policies for the issue-stage simulator.
+
+Vortex uses a simple round-robin scheduler; modern GPUs favour
+greedy-then-oldest (GTO).  Both are provided so the effect of the policy can
+be studied, although the paper's conclusions do not hinge on it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.simt.warp import WarpState
+
+
+class RoundRobinScheduler:
+    """Loose round-robin: resume scanning after the last warp that issued."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def select(self, warps: Sequence[WarpState], cycle: int) -> Optional[WarpState]:
+        count = len(warps)
+        if count == 0:
+            return None
+        for offset in range(1, count + 1):
+            warp = warps[(self._last + offset) % count]
+            if warp.eligible(cycle):
+                self._last = warp.warp_id
+                return warp
+        return None
+
+
+class GreedyThenOldestScheduler:
+    """Keep issuing from the same warp while it is eligible, else pick the oldest.
+
+    "Oldest" is approximated by the warp that has issued the fewest
+    instructions so far, which matches the intent of prioritizing lagging
+    warps.
+    """
+
+    def __init__(self) -> None:
+        self._current: Optional[int] = None
+
+    def select(self, warps: Sequence[WarpState], cycle: int) -> Optional[WarpState]:
+        if self._current is not None:
+            warp = warps[self._current]
+            if warp.eligible(cycle):
+                return warp
+        candidates: List[WarpState] = [warp for warp in warps if warp.eligible(cycle)]
+        if not candidates:
+            return None
+        chosen = min(candidates, key=lambda warp: (warp.issued, warp.warp_id))
+        self._current = chosen.warp_id
+        return chosen

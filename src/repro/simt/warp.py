@@ -1,0 +1,52 @@
+"""Per-warp execution state used by the issue-stage simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class WarpState:
+    """State of one warp inside the issue-stage simulator.
+
+    A warp holds its instruction stream, a program counter, and a
+    ``blocked_until`` cycle set when the warp must wait for a long-latency
+    result (a dependent load, a synchronous matrix instruction, a barrier).
+    """
+
+    warp_id: int
+    program: List[Instruction] = field(default_factory=list)
+    pc: int = 0
+    blocked_until: int = 0
+    issued: int = 0
+    stall_cycles: int = 0
+    finished_at: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.program)
+
+    def eligible(self, cycle: int) -> bool:
+        """A warp may issue when it has instructions left and is not blocked."""
+        return not self.done and cycle >= self.blocked_until
+
+    def peek(self) -> Instruction:
+        if self.done:
+            raise IndexError(f"warp {self.warp_id} has no instructions left")
+        return self.program[self.pc]
+
+    def advance(self, cycle: int) -> Instruction:
+        """Consume the next instruction at ``cycle`` and return it."""
+        instruction = self.peek()
+        self.pc += 1
+        self.issued += 1
+        if self.done:
+            self.finished_at = cycle
+        return instruction
+
+    def block(self, until: int) -> None:
+        """Block the warp until the given absolute cycle."""
+        self.blocked_until = max(self.blocked_until, until)

@@ -1,0 +1,69 @@
+"""SIMD-parallel dot-product units: the compute fabric of the tensor cores.
+
+Following the Volta model of Raihan et al. (the microarchitecture the paper's
+tightly-coupled baseline implements), a tensor core is a group of dot-product
+units (DPUs), each computing a 4-element FP16 multiply + tree-reduce + FP32
+accumulate per cycle.  The functional model computes exact results in FP32
+after an FP16 quantization of the operands, mirroring mixed-precision tensor
+core arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.soc import DataType
+from repro.sim.stats import Counters
+
+
+@dataclass
+class DotProductUnit:
+    """A cluster of SIMD dot-product lanes with a given MAC throughput."""
+
+    macs_per_cycle: int
+    dtype: DataType = DataType.FP16
+    dot_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.macs_per_cycle <= 0:
+            raise ValueError("macs_per_cycle must be positive")
+        if self.dot_width <= 0:
+            raise ValueError("dot_width must be positive")
+        self.total_macs = 0
+
+    def multiply_accumulate(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        counters: Counters | None = None,
+    ) -> np.ndarray:
+        """Compute ``a @ b + c`` with operand quantization to ``dtype``.
+
+        ``a`` is (m, k), ``b`` is (k, n), ``c`` is (m, n) FP32 accumulator.
+        """
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"inner dimensions mismatch: {a.shape} x {b.shape}")
+        if c.shape != (a.shape[0], b.shape[1]):
+            raise ValueError(f"accumulator shape {c.shape} does not match output")
+        operand_dtype = np.float16 if self.dtype is DataType.FP16 else np.float32
+        a_q = a.astype(operand_dtype).astype(np.float32)
+        b_q = b.astype(operand_dtype).astype(np.float32)
+        result = a_q @ b_q + c.astype(np.float32)
+
+        macs = a.shape[0] * b.shape[1] * a.shape[1]
+        self.total_macs += macs
+        if counters is not None:
+            counters.add("matrix_unit.pe.macs", macs)
+        return result
+
+    def cycles_for_macs(self, macs: int) -> int:
+        """Cycles the DPU array needs for ``macs`` multiply-accumulates."""
+        if macs < 0:
+            raise ValueError("mac count must be non-negative")
+        return max(0, -(-macs // self.macs_per_cycle))
+
+    def cycles_for_tile(self, m: int, n: int, k: int) -> int:
+        return self.cycles_for_macs(m * n * k)

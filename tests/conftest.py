@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.presets import (
+    DesignKind,
+    ampere_style,
+    hopper_style,
+    make_design,
+    virgo,
+    volta_style,
+)
+from repro.config.soc import DataType
+
+
+@pytest.fixture
+def volta_design():
+    return volta_style()
+
+
+@pytest.fixture
+def ampere_design():
+    return ampere_style()
+
+
+@pytest.fixture
+def hopper_design():
+    return hopper_style()
+
+
+@pytest.fixture
+def virgo_design():
+    return virgo()
+
+
+@pytest.fixture
+def virgo_fp32_design():
+    return virgo(DataType.FP32)
+
+
+@pytest.fixture
+def all_design_configs():
+    return {kind: make_design(kind) for kind in DesignKind}
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(seed=20250330)

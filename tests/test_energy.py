@@ -1,0 +1,185 @@
+"""Tests for the energy table, power computation, breakdowns and area model."""
+
+import pytest
+
+from repro.config.soc import IntegrationStyle, SoCConfig
+from repro.config.presets import DesignKind, make_design
+from repro.energy.area import AreaModel, soc_area_breakdown
+from repro.energy.breakdown import core_breakdown, matrix_unit_breakdown, soc_breakdown
+from repro.energy.model import EnergyTable
+from repro.energy.power import active_energy_uj, active_power_mw, make_power_report
+from repro.sim.stats import Counters
+
+
+class TestEnergyTable:
+    def test_energy_accumulates(self):
+        table = EnergyTable()
+        counters = Counters({"core.issue.instructions": 100})
+        assert table.energy_picojoules(counters) == pytest.approx(700.0)
+
+    def test_unknown_counters_ignored_but_reported(self):
+        table = EnergyTable()
+        counters = Counters({"made.up.counter": 5})
+        assert table.energy_picojoules(counters) == 0.0
+        assert table.unknown_counters(counters) == ("made.up.counter",)
+
+    def test_component_attribution(self):
+        table = EnergyTable()
+        counters = Counters({"smem.core.read_words": 10, "accum.read_words": 10})
+        by_component = table.energy_by_component(counters)
+        assert "shared_memory" in by_component
+        assert "accumulator" in by_component
+
+    def test_accumulator_cheaper_than_register_file(self):
+        """The single-banked accumulator SRAM costs less per word than the RF."""
+        table = EnergyTable()
+        accum = table.spec_for("accum.read_words").picojoules
+        rf = table.spec_for("core.issue.rf_read_words").picojoules
+        assert accum < rf
+
+    def test_virgo_pe_macs_cheaper_than_tensor_core(self):
+        """Fused multiply-add systolic PEs are slightly cheaper (Figure 11)."""
+        tensor = EnergyTable.for_design(IntegrationStyle.TIGHTLY_COUPLED)
+        systolic = EnergyTable.for_design(IntegrationStyle.DISAGGREGATED)
+        assert (
+            systolic.spec_for("matrix_unit.pe.macs").picojoules
+            < tensor.spec_for("matrix_unit.pe.macs").picojoules
+        )
+
+    def test_dram_energy_excluded_from_soc(self):
+        table = EnergyTable()
+        assert table.spec_for("dram.bytes").picojoules == 0.0
+
+    def test_all_kernel_counters_have_energy_assignments(self):
+        """Every counter a GEMM kernel produces must be in the energy table."""
+        from repro.kernels.gemm import simulate_gemm
+
+        table = EnergyTable()
+        for kind in DesignKind:
+            result = simulate_gemm(kind, 256)
+            assert table.unknown_counters(result.counters) == (), kind
+
+
+class TestPower:
+    def test_power_scales_inversely_with_runtime(self):
+        table = EnergyTable()
+        counters = Counters({"core.issue.instructions": 1_000_000})
+        soc = SoCConfig()
+        fast = active_power_mw(counters, table, cycles=1000, soc=soc)
+        slow = active_power_mw(counters, table, cycles=2000, soc=soc)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_energy_independent_of_runtime(self):
+        table = EnergyTable()
+        counters = Counters({"core.issue.instructions": 1_000_000})
+        assert active_energy_uj(counters, table) == pytest.approx(7.0)
+
+    def test_power_report_consistency(self):
+        table = EnergyTable()
+        counters = Counters({"core.fpu.ops": 1000, "smem.core.read_words": 500})
+        report = make_power_report("test", counters, table, cycles=4000, soc=SoCConfig())
+        assert report.total_energy_pj == pytest.approx(
+            sum(report.energy_by_component_pj.values())
+        )
+        assert report.active_power_mw > 0
+        assert sum(report.power_by_component_mw().values()) == pytest.approx(
+            report.active_power_mw
+        )
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            active_power_mw(Counters(), EnergyTable(), cycles=0, soc=SoCConfig())
+
+
+class TestBreakdowns:
+    def _counters(self):
+        return Counters(
+            {
+                "core.issue.instructions": 1000,
+                "core.alu.ops": 500,
+                "core.fpu.ops": 200,
+                "smem.core.read_words": 300,
+                "accum.read_words": 100,
+                "matrix_unit.pe.macs": 10_000,
+                "l2.bytes": 4096,
+                "dma.bytes": 4096,
+            }
+        )
+
+    def test_soc_breakdown_groups(self):
+        breakdown = soc_breakdown("test", self._counters(), EnergyTable())
+        assert set(breakdown.parts_pj) == {
+            "L2 Cache",
+            "L1 Cache",
+            "Shared Mem",
+            "Vortex Core",
+            "Accum Mem",
+            "Matrix Unit",
+            "DMA & Other",
+        }
+        assert breakdown.parts_pj["Vortex Core"] > 0
+        assert breakdown.total_pj > 0
+
+    def test_core_breakdown_components(self):
+        breakdown = core_breakdown("test", self._counters(), EnergyTable())
+        assert breakdown.parts_pj["Core: Issue"] > 0
+        assert breakdown.parts_pj["Core: ALU"] > 0
+
+    def test_matrix_unit_breakdown(self):
+        breakdown = matrix_unit_breakdown("test", self._counters(), EnergyTable())
+        assert breakdown.parts_pj["PEs"] > 0
+
+    def test_fractions_sum_to_one(self):
+        breakdown = soc_breakdown("test", self._counters(), EnergyTable())
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_dominant_component(self):
+        counters = Counters({"core.issue.instructions": 1_000_000})
+        breakdown = soc_breakdown("test", counters, EnergyTable())
+        assert breakdown.dominant_component() == "Vortex Core"
+
+
+class TestAreaModel:
+    def test_breakdown_components(self, virgo_design):
+        breakdown = soc_area_breakdown(virgo_design)
+        assert set(breakdown) == {
+            "L2 Cache",
+            "L1 Cache",
+            "Shared Mem",
+            "Vortex Core",
+            "Accum Mem",
+            "Matrix Unit",
+            "DMA & Other",
+        }
+        assert all(value >= 0 for value in breakdown.values())
+
+    def test_virgo_area_close_to_baselines(self):
+        """Figure 7: Virgo's SoC area is comparable to the core-coupled baselines.
+
+        The paper reports Virgo within 0.1% of Volta-style and 3% of
+        Hopper-style.  Our density model keeps Virgo and Volta-style (same
+        core count) within a few percent; the Hopper-style point deviates
+        more because its four-core cluster sheds flop-array L1 area that the
+        paper's implementation apparently retains (see EXPERIMENTS.md).
+        """
+        volta_area = AreaModel(make_design(DesignKind.VOLTA)).total_um2()
+        hopper_area = AreaModel(make_design(DesignKind.HOPPER)).total_um2()
+        virgo_area = AreaModel(make_design(DesignKind.VIRGO)).total_um2()
+        assert abs(virgo_area - volta_area) / volta_area < 0.15
+        assert virgo_area > hopper_area
+        assert abs(virgo_area - hopper_area) / hopper_area < 0.75
+
+    def test_virgo_only_design_with_accumulator_area(self):
+        volta = soc_area_breakdown(make_design(DesignKind.VOLTA))
+        virgo_bd = soc_area_breakdown(make_design(DesignKind.VIRGO))
+        assert volta["Accum Mem"] == 0
+        assert virgo_bd["Accum Mem"] > 0
+
+    def test_l1_dominates_due_to_flop_arrays(self, volta_design):
+        """The paper notes the flop-array L1 is a large area component."""
+        breakdown = soc_area_breakdown(volta_design)
+        assert breakdown["L1 Cache"] > breakdown["Shared Mem"]
+
+    def test_total_mm2(self, virgo_design):
+        model = AreaModel(virgo_design)
+        assert model.total_mm2() == pytest.approx(model.total_um2() / 1e6)

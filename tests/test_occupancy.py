@@ -1,0 +1,89 @@
+"""Tests for the occupancy calculator and the Table 1 regeneration."""
+
+import pytest
+
+from repro.simt.occupancy import (
+    GENERATIONS,
+    TABLE1_REGISTER_USAGE,
+    GpuGenerationSpec,
+    OccupancyCalculator,
+    table1_occupancies,
+)
+
+
+class TestOccupancyCalculator:
+    def test_low_register_usage_hits_warp_slot_limit(self):
+        calculator = OccupancyCalculator(GENERATIONS["V100"])
+        result = calculator.calculate(registers_per_thread=32, threads_per_block=256)
+        assert result.warps_per_sm == result.max_warps_per_sm
+        assert result.occupancy == pytest.approx(1.0)
+
+    def test_high_register_usage_limits_occupancy(self):
+        calculator = OccupancyCalculator(GENERATIONS["V100"])
+        result = calculator.calculate(registers_per_thread=224, threads_per_block=256)
+        assert result.limiting_factor == "registers"
+        assert result.occupancy < 0.25
+
+    def test_occupancy_monotonic_in_register_usage(self):
+        calculator = OccupancyCalculator(GENERATIONS["A100"])
+        previous = 1.1
+        for registers in (32, 64, 128, 192, 255):
+            occupancy = calculator.calculate(registers, threads_per_block=256).occupancy
+            assert occupancy <= previous + 1e-9
+            previous = occupancy
+
+    def test_shared_memory_limit(self):
+        calculator = OccupancyCalculator(GENERATIONS["V100"])
+        result = calculator.calculate(
+            registers_per_thread=32,
+            threads_per_block=256,
+            shared_memory_per_block=48 * 1024,
+        )
+        assert result.warps_per_sm <= 16
+        assert result.limiting_factor == "shared_memory"
+
+    def test_invalid_threads_per_block(self):
+        calculator = OccupancyCalculator(GENERATIONS["V100"])
+        with pytest.raises(ValueError):
+            calculator.calculate(64, threads_per_block=0)
+
+    def test_register_granularity_rounding(self):
+        spec = GpuGenerationSpec(name="test", register_allocation_granularity=256)
+        calculator = OccupancyCalculator(spec)
+        # 65 regs * 32 threads = 2080 -> rounds to 2304.
+        assert calculator._registers_per_warp(65) == 2304
+
+
+class TestTable1:
+    def test_all_generations_present(self):
+        results = table1_occupancies()
+        assert set(results) == {"V100", "A100", "H100"}
+
+    def test_occupancy_is_low_for_cutlass_register_usage(self):
+        """Table 1's point: CUTLASS GEMM register usage keeps occupancy low (10-20%)."""
+        for gpu, result in table1_occupancies().items():
+            assert 0.05 <= result.occupancy <= 0.25, gpu
+
+    def test_register_limited_everywhere(self):
+        for result in table1_occupancies().values():
+            assert result.limiting_factor == "registers"
+
+    def test_register_usage_matches_paper(self):
+        assert TABLE1_REGISTER_USAGE == {"V100": 224, "A100": 221, "H100": 168}
+
+    def test_tensor_throughput_scaling_matches_paper(self):
+        """Tensor FP16 throughput grows faster than CUDA FP32 across generations."""
+        assert GENERATIONS["H100"].tensor_fp16_tflops_rel == pytest.approx(7.9)
+        assert GENERATIONS["H100"].cuda_fp32_tflops_rel == pytest.approx(4.3)
+        for spec in GENERATIONS.values():
+            assert spec.tensor_fp16_tflops_rel >= spec.cuda_fp32_tflops_rel
+
+    def test_macs_per_tensor_core_growth(self):
+        """The per-Tensor-Core MAC count grows 64 -> 256 -> 512 (Table 1)."""
+        assert GENERATIONS["V100"].macs_per_tensor_core == 64
+        assert GENERATIONS["A100"].macs_per_tensor_core == 256
+        assert GENERATIONS["H100"].macs_per_tensor_core == 512
+
+    def test_tensor_core_count_does_not_grow(self):
+        for spec in GENERATIONS.values():
+            assert spec.tensor_cores_rel <= 1.0

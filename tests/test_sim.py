@@ -1,0 +1,256 @@
+"""Tests for the simulation substrate: counters, event engine, resources, task graphs."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulator
+from repro.sim.resources import Resource, ResourcePool, ThroughputResource
+from repro.sim.stats import Counters
+from repro.sim.taskgraph import Operation, OperationGraph
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("a.b", 3)
+        counters.add("a.b", 2)
+        assert counters["a.b"] == 5
+
+    def test_missing_key_is_zero(self):
+        assert Counters()["nope"] == 0.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().add("x", -1)
+
+    def test_merge(self):
+        a = Counters({"x": 1})
+        b = Counters({"x": 2, "y": 3})
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+
+    def test_scaled(self):
+        counters = Counters({"x": 2})
+        scaled = counters.scaled(10)
+        assert scaled["x"] == 20
+        assert counters["x"] == 2  # original untouched
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counters().scaled(-1)
+
+    def test_total_with_prefix(self):
+        counters = Counters({"core.issue": 5, "core.alu": 3, "smem.read": 2})
+        assert counters.total("core.") == 8
+        assert counters.total() == 10
+
+    def test_group_by_prefix(self):
+        counters = Counters({"core.issue.x": 1, "core.alu.y": 2, "smem.z": 4})
+        grouped = counters.group_by_prefix(1)
+        assert grouped == {"core": 3, "smem": 4}
+
+    def test_add_operator(self):
+        total = Counters({"x": 1}) + Counters({"x": 2})
+        assert total["x"] == 3
+
+    def test_iteration_and_len(self):
+        counters = Counters({"a": 1, "b": 2})
+        assert set(counters) == {"a", "b"}
+        assert len(counters) == 2
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(5, lambda: None)
+        queue.push(2, lambda: None)
+        assert queue.pop().time == 2
+
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3, lambda: order.append("first"))
+        queue.push(3, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_cancel(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_len_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(10, lambda: seen.append(simulator.now))
+        simulator.schedule(5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [5, 10]
+
+    def test_chained_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            seen.append(simulator.now)
+            simulator.schedule(7, lambda: seen.append(simulator.now))
+
+        simulator.schedule(3, first)
+        simulator.run()
+        assert seen == [3, 10]
+
+    def test_cannot_schedule_in_past(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.schedule(-1, lambda: None)
+
+    def test_run_until(self):
+        simulator = Simulator()
+        simulator.schedule(100, lambda: None)
+        simulator.run(until=50)
+        assert simulator.now == 50
+
+    def test_max_cycles_guard(self):
+        simulator = Simulator(max_cycles=10)
+
+        def reschedule():
+            simulator.schedule(5, reschedule)
+
+        simulator.schedule(5, reschedule)
+        with pytest.raises(RuntimeError):
+            simulator.run()
+
+    def test_step(self):
+        simulator = Simulator()
+        simulator.schedule(2, lambda: None)
+        assert simulator.step() is True
+        assert simulator.step() is False
+
+
+class TestResource:
+    def test_back_to_back_reservations(self):
+        resource = Resource("unit")
+        assert resource.reserve(0, 10) == (0, 10)
+        assert resource.reserve(0, 5) == (10, 15)
+
+    def test_respects_ready_time(self):
+        resource = Resource("unit")
+        assert resource.reserve(20, 5) == (20, 25)
+
+    def test_multiple_instances(self):
+        resource = Resource("unit", count=2)
+        assert resource.reserve(0, 10) == (0, 10)
+        assert resource.reserve(0, 10) == (0, 10)
+        assert resource.reserve(0, 10) == (10, 20)
+
+    def test_utilization(self):
+        resource = Resource("unit")
+        resource.reserve(0, 50)
+        assert resource.utilization(100) == pytest.approx(0.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("unit").reserve(0, -1)
+
+
+class TestThroughputResource:
+    def test_cycles_for_units(self):
+        resource = ThroughputResource("bw", units_per_cycle=32)
+        assert resource.cycles_for(64) == 2
+        assert resource.cycles_for(65) == 3
+        assert resource.cycles_for(0) == 0
+
+    def test_reserve_units_tracks_totals(self):
+        resource = ThroughputResource("bw", units_per_cycle=16)
+        resource.reserve_units(0, 160)
+        assert resource.units_served == 160
+        assert resource.busy_cycles == 10
+
+
+class TestResourcePool:
+    def test_duplicate_rejected(self):
+        pool = ResourcePool()
+        pool.add(Resource("a"))
+        with pytest.raises(ValueError):
+            pool.add(Resource("a"))
+
+    def test_contains_and_getitem(self):
+        pool = ResourcePool()
+        resource = pool.add(Resource("a"))
+        assert "a" in pool
+        assert pool["a"] is resource
+
+
+class TestOperationGraph:
+    def _graph(self):
+        graph = OperationGraph()
+        graph.add_resource(Resource("dma"))
+        graph.add_resource(Resource("matrix"))
+        return graph
+
+    def test_simple_chain(self):
+        graph = self._graph()
+        graph.add_operation("load", "dma", 100)
+        graph.add_operation("compute", "matrix", 200, deps=["load"])
+        result = graph.schedule()
+        assert result.total_cycles == 300
+        assert result.finish_time("load") == 100
+
+    def test_pipelined_double_buffering(self):
+        """Loads overlap with the previous compute, so total < sum of all ops."""
+        graph = self._graph()
+        graph.add_operation("load0", "dma", 100)
+        graph.add_operation("compute0", "matrix", 200, deps=["load0"])
+        graph.add_operation("load1", "dma", 100)
+        graph.add_operation("compute1", "matrix", 200, deps=["load1", "compute0"])
+        result = graph.schedule()
+        assert result.total_cycles == 500  # load1 hidden under compute0
+
+    def test_resource_serialization(self):
+        graph = self._graph()
+        graph.add_operation("a", "matrix", 100)
+        graph.add_operation("b", "matrix", 100)
+        result = graph.schedule()
+        assert result.total_cycles == 200
+
+    def test_unknown_resource_rejected(self):
+        graph = self._graph()
+        with pytest.raises(ValueError):
+            graph.add_operation("x", "nope", 10)
+
+    def test_unknown_dependency_rejected(self):
+        graph = self._graph()
+        with pytest.raises(ValueError):
+            graph.add_operation("x", "dma", 10, deps=["missing"])
+
+    def test_duplicate_operation_rejected(self):
+        graph = self._graph()
+        graph.add_operation("x", "dma", 10)
+        with pytest.raises(ValueError):
+            graph.add_operation("x", "dma", 10)
+
+    def test_ready_after(self):
+        graph = self._graph()
+        graph.add_operation("x", "dma", 10, ready_after=50)
+        assert graph.schedule().total_cycles == 60
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(name="x", resource="dma", duration=-5)
+
+    def test_kind_cycles(self):
+        graph = self._graph()
+        graph.add_operation("a", "dma", 10, kind="dma")
+        graph.add_operation("b", "matrix", 20, kind="compute")
+        result = graph.schedule()
+        assert result.critical_kind_cycles() == {"dma": 10, "compute": 20}

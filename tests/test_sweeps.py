@@ -1,0 +1,64 @@
+"""Tests for the design-space sweeps around the Virgo design point."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    cluster_scaling_sweep,
+    dma_bandwidth_sweep,
+    mesh_scaling_sweep,
+)
+
+
+class TestMeshScaling:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return mesh_scaling_sweep(size=512, meshes=(8, 16, 32))
+
+    def test_utilization_stays_high_as_unit_scales(self, sweep):
+        """The scalability claim: no register-file wall as the mesh grows."""
+        for entry in sweep:
+            assert entry["mac_utilization_percent"] > 55.0
+
+    def test_power_grows_with_throughput(self, sweep):
+        powers = [entry["active_power_mw"] for entry in sweep]
+        assert powers == sorted(powers)
+
+    def test_energy_per_flop_does_not_explode(self, sweep):
+        """Energy per FLOP stays within ~2x across a 16x throughput range."""
+        per_flop = [entry["energy_pj_per_flop"] for entry in sweep]
+        assert max(per_flop) / min(per_flop) < 2.0
+
+    def test_cycles_shrink_with_bigger_mesh(self, sweep):
+        cycles = [entry["cycles"] for entry in sweep]
+        assert cycles == sorted(cycles, reverse=True)
+
+
+class TestClusterScaling:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return cluster_scaling_sweep(size=1024, cluster_counts=(1, 2, 4))
+
+    def test_speedup_grows_with_clusters(self, sweep):
+        speedups = [entry["speedup"] for entry in sweep]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 2.5  # 4 clusters give close to 4x
+
+    def test_energy_roughly_constant(self, sweep):
+        energies = [entry["active_energy_uj"] for entry in sweep]
+        assert max(energies) / min(energies) < 1.1
+
+    def test_utilization_roughly_preserved(self, sweep):
+        utils = [entry["mac_utilization_percent"] for entry in sweep]
+        assert max(utils) - min(utils) < 12.0
+
+
+class TestDmaBandwidth:
+    def test_low_bandwidth_starves_the_matrix_unit(self):
+        sweep = dma_bandwidth_sweep(size=512, bandwidths=(4.0, 32.0))
+        starved, healthy = sweep[0], sweep[1]
+        assert starved["mac_utilization_percent"] < healthy["mac_utilization_percent"]
+
+    def test_utilization_monotonic_in_bandwidth(self):
+        sweep = dma_bandwidth_sweep(size=512, bandwidths=(8.0, 16.0, 32.0, 64.0))
+        utils = [entry["mac_utilization_percent"] for entry in sweep]
+        assert all(b >= a - 1e-9 for a, b in zip(utils, utils[1:]))
