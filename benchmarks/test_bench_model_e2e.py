@@ -1,0 +1,47 @@
+"""E12 -- model-level end to end: one GPT block on Virgo vs the baseline.
+
+The paper evaluates per-kernel metrics; this benchmark starts the model-level
+trajectory: a full GPT-style decoder block (prefill) lowered through
+``repro.workloads`` onto Virgo and the Ampere-style baseline, tracking
+end-to-end cycles, MAC utilization and energy so future PRs can see whether
+model-scale numbers move.
+"""
+
+from conftest import print_comparison
+
+from repro.config.presets import DesignKind
+from repro.workloads import resolve_spec, run_model, scaled_spec
+
+#: One decoder block keeps the benchmark quick while exercising every layer
+#: kind (norm, fused QKV, attention, projections, FFN, residuals).
+ONE_BLOCK = scaled_spec(resolve_spec("gpt-prefill"), blocks=1)
+
+
+def _run_pair():
+    virgo = run_model(ONE_BLOCK, DesignKind.VIRGO)
+    ampere = run_model(ONE_BLOCK, DesignKind.AMPERE)
+    return virgo, ampere
+
+
+def test_bench_model_gpt_block_e2e(benchmark):
+    virgo, ampere = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+
+    rows = {
+        "virgo_total_cycles": {"measured": float(virgo.total_cycles)},
+        "ampere_total_cycles": {"measured": float(ampere.total_cycles)},
+        "virgo_mac_util_percent": {"measured": virgo.mac_utilization_percent},
+        "ampere_mac_util_percent": {"measured": ampere.mac_utilization_percent},
+        "virgo_energy_uj": {"measured": virgo.active_energy_uj},
+        "ampere_energy_uj": {"measured": ampere.active_energy_uj},
+        "virgo_speedup": {"measured": ampere.total_cycles / virgo.total_cycles},
+        "virgo_energy_ratio": {"measured": ampere.active_energy_uj / virgo.active_energy_uj},
+    }
+    print_comparison("Model e2e: one GPT block (prefill), Virgo vs Ampere-style", rows)
+
+    # Disaggregation must keep winning at model scale, not just per kernel.
+    assert virgo.total_cycles < ampere.total_cycles
+    assert virgo.active_energy_uj < ampere.active_energy_uj
+    assert virgo.mac_utilization_percent > 50.0
+    # The schedule really is multi-kernel: every layer kind got lowered.
+    kinds = {kind for layer in virgo.layers for kind in layer.kinds}
+    assert kinds == {"gemm", "flash", "simt"}

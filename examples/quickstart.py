@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Quickstart: simulate one GEMM on all four designs and print the headline metrics.
 
+The per-design rows come straight from the canonical ``to_dict()`` encoding
+every run result exposes -- the same encoding the CLI and the batch-runner
+cache use -- so what you see here is exactly what lands in result files.
+
 Run with:  python examples/quickstart.py [size]
 """
 
@@ -9,6 +13,7 @@ from __future__ import annotations
 import sys
 
 from repro import DesignKind, run_gemm
+from repro.runner import to_json
 
 
 def main() -> None:
@@ -17,19 +22,23 @@ def main() -> None:
     print(f"GEMM {size}x{size}x{size} (FP16) on one GPU cluster, 400 MHz")
     print(f"{'design':<14} {'cycles':>12} {'MAC util %':>11} {'power mW':>10} "
           f"{'energy uJ':>11} {'instructions':>14}")
-    for kind in DesignKind:
-        run = run_gemm(kind, size)
+    results = {kind: run_gemm(kind, size) for kind in DesignKind}
+    for run in results.values():
+        row = run.to_dict()
         print(
-            f"{run.design_name:<14} {run.total_cycles:>12,} "
-            f"{run.mac_utilization_percent:>11.1f} {run.active_power_mw:>10.1f} "
-            f"{run.active_energy_uj:>11.1f} {run.retired_instructions:>14,}"
+            f"{row['design']:<14} {row['total_cycles']:>12,} "
+            f"{row['mac_utilization_percent']:>11.1f} {row['active_power_mw']:>10.1f} "
+            f"{row['active_energy_uj']:>11.1f} {row['retired_instructions']:>14,}"
         )
 
-    virgo = run_gemm(DesignKind.VIRGO, size)
-    ampere = run_gemm(DesignKind.AMPERE, size)
-    reduction = 100.0 * (1.0 - virgo.active_power_mw / ampere.active_power_mw)
+    virgo = results[DesignKind.VIRGO].to_dict()
+    ampere = results[DesignKind.AMPERE].to_dict()
+    reduction = 100.0 * (1.0 - virgo["active_power_mw"] / ampere["active_power_mw"])
     print(f"\nVirgo reduces active power by {reduction:.1f}% vs the Ampere-style baseline "
           f"(paper: 67.3% at 1024^3).")
+
+    print("\nCanonical JSON encoding of the Virgo run (what caches and the CLI emit):")
+    print(to_json(results[DesignKind.VIRGO]))
 
 
 if __name__ == "__main__":

@@ -12,11 +12,14 @@ Run with:  python examples/virgo_programming_api.py
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 from repro.config.presets import virgo
 from repro.core.api import VirgoContext
 from repro.energy.model import EnergyTable
+from repro.energy.power import make_power_report
 
 
 def main() -> None:
@@ -62,15 +65,23 @@ def main() -> None:
     expected = a.astype(np.float32) @ b.astype(np.float32)
     error = np.abs(context.global_load("C") - expected).max()
     counters = context.gather_counters()
-    energy_uj = EnergyTable.for_design(design.style).energy_picojoules(counters) / 1e6
+    report = make_power_report(
+        design.name,
+        counters,
+        EnergyTable.for_design(design.style),
+        context.elapsed_cycles(),
+        design.soc,
+    )
 
     print("== virgo_* API GEMM (128x64x512, K blocked by 128) ==")
     print(f"  max |error| vs numpy reference: {error:.3e}")
     print(f"  simulated cycles:               {context.elapsed_cycles():,}")
     print(f"  fence polling cycles:           {context.fence_poll_cycles:,} "
           f"across {context.fence_count} fences")
-    print(f"  active energy estimate:         {energy_uj:.2f} uJ")
+    print(f"  active energy estimate:         {report.total_energy_uj:.2f} uJ")
     print(f"  shared-memory words touched:    {int(counters['smem.total_words']):,}")
+    print("\n  power report (canonical to_dict() encoding):")
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

@@ -31,7 +31,20 @@ from repro.runner import (
 
 __version__ = "1.0.0"
 
+# Imported after __version__: the batch runner folds the package version
+# into its cache keys, so it must see the attribute during partial init.
+from repro.workloads import (
+    ModelRunResult,
+    ModelSpec,
+    run_batch,
+    run_model,
+)
+
 __all__ = [
+    "ModelRunResult",
+    "ModelSpec",
+    "run_batch",
+    "run_model",
     "DesignKind",
     "make_design",
     "volta_style",

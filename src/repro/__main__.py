@@ -8,6 +8,8 @@ Examples
     python -m repro table --number 3
     python -m repro compare          # full paper-vs-measured report
     python -m repro hetero
+    python -m repro model --name gpt-prefill --design virgo
+    python -m repro model --batch --names gpt-prefill,gpt-decode --designs virgo,ampere
 """
 
 from __future__ import annotations
@@ -33,9 +35,17 @@ from repro.analysis.tables import (
     table3_mac_utilization,
     table4_smem_footprint,
 )
+from repro.analysis.model_breakdown import (
+    LAYER_HEADERS,
+    compare_models,
+    model_breakdown_report,
+    model_layer_rows,
+    model_phase_summary,
+)
 from repro.config.presets import DesignKind
 from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heterogeneous
 from repro.runner import run_flash_attention, run_gemm
+from repro.workloads import model_names, resolve_spec, run_batch, run_model, sweep_jobs
 
 
 def _design_from_name(name: str) -> DesignKind:
@@ -122,6 +132,83 @@ def _cmd_hetero(_: argparse.Namespace) -> None:
     print(json.dumps(summary, indent=2))
 
 
+def _cmd_model(args: argparse.Namespace) -> None:
+    if args.list:
+        for name in model_names():
+            spec = resolve_spec(name)
+            print(
+                f"{name:<18} family={spec.family:<5} phase={spec.phase:<8} "
+                f"batch={spec.batch} seq={spec.seq_len} hidden={spec.hidden} "
+                f"blocks={spec.blocks} heads={spec.heads}"
+                + (f" kv_heads={spec.kv_heads}" if spec.kv_heads else "")
+            )
+        return
+
+    if args.batch:
+        names = [name.strip() for name in args.names.split(",") if name.strip()]
+        designs = [name.strip() for name in args.designs.split(",") if name.strip()]
+        if not names or not designs:
+            raise SystemExit("--batch requires --names and --designs")
+        for design in designs:
+            _design_from_name(design)  # fail fast on typos
+        for name in names:
+            try:
+                resolve_spec(name)
+            except KeyError as error:
+                raise SystemExit(error.args[0]) from error
+        jobs = sweep_jobs(names, designs, heterogeneous=args.hetero)
+        try:
+            report = run_batch(jobs, cache_dir=args.cache_dir, max_workers=args.workers)
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else str(error)
+            raise SystemExit(message) from error
+        headers = ["job", "total cycles", "MAC util %", "energy uJ", "cached"]
+        rows = [
+            [
+                outcome.job.label,
+                f"{outcome.result['total_cycles']:,}",
+                f"{outcome.result['mac_utilization_percent']:.1f}",
+                f"{outcome.result['active_energy_uj']:.1f}",
+                "yes" if outcome.from_cache else "no",
+            ]
+            for outcome in report.outcomes
+        ]
+        print(format_table(headers, rows))
+        print(f"\n{report.computed} computed, {report.cached} from cache")
+        return
+
+    kind = _design_from_name(args.design)
+    try:
+        result = run_model(args.name, kind, heterogeneous=args.hetero)
+    except (KeyError, ValueError) as error:
+        # Unknown zoo name or an unsupported design/flag combination; both
+        # messages already name the valid choices.
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(message) from error
+    if args.json:
+        print(json.dumps(model_breakdown_report(result), indent=2))
+        return
+
+    spec = resolve_spec(args.name)
+    print(
+        f"{args.name} on {result.design_name}"
+        + (" (heterogeneous dual unit)" if result.heterogeneous else "")
+        + f": batch={spec.batch} seq={spec.seq_len} hidden={spec.hidden} "
+        f"blocks={spec.blocks} heads={spec.heads}\n"
+    )
+    print(format_table(LAYER_HEADERS, model_layer_rows(result)))
+    print()
+    for phase, summary in model_phase_summary(result).items():
+        print(
+            f"phase {phase}: {summary['busy_cycles']:,.0f} busy cycles, "
+            f"{summary['energy_uj']:.1f} uJ "
+            f"({summary['energy_share_percent']:.1f}% of energy)"
+        )
+    headers, rows = compare_models([result])
+    print()
+    print(format_table(headers, rows))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Virgo (ASPLOS 2025) reproduction experiments"
@@ -150,6 +237,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     hetero = sub.add_parser("hetero", help="Section 6.3 heterogeneous dual-unit experiment")
     hetero.set_defaults(func=_cmd_hetero)
+
+    model = sub.add_parser(
+        "model",
+        help="simulate an end-to-end model workload (see repro.workloads)",
+        description=(
+            "Lower a whole model (GPT prefill/decode, BERT encoder, GEMM chain) "
+            "to a kernel schedule and report per-layer cycles, MAC utilization "
+            "and energy.  The repro.workloads module docstring documents the "
+            "layer-graph IR, the model zoo and the batch runner in detail."
+        ),
+        epilog=(
+            "batch mode: --batch --names a,b --designs x,y fans the cross "
+            "product over a process pool; --cache-dir makes re-runs free via "
+            "a content-hashed on-disk result cache."
+        ),
+    )
+    model.add_argument("--name", default="gpt-prefill", help="model zoo entry (see --list)")
+    model.add_argument("--design", default="virgo", help="volta | ampere | hopper | virgo")
+    model.add_argument("--hetero", action="store_true",
+                       help="route small GEMMs onto a half-size secondary matrix unit")
+    model.add_argument("--json", action="store_true", help="emit the full JSON breakdown")
+    model.add_argument("--list", action="store_true", help="list the model zoo and exit")
+    model.add_argument("--batch", action="store_true", help="run a (models x designs) sweep")
+    model.add_argument("--names", default="", help="comma-separated models for --batch")
+    model.add_argument("--designs", default="", help="comma-separated designs for --batch")
+    model.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    model.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for --batch (default: cpu count)")
+    model.set_defaults(func=_cmd_model)
     return parser
 
 

@@ -28,8 +28,20 @@ from repro.analysis.sweeps import (
     cluster_scaling_sweep,
     dma_bandwidth_sweep,
 )
+from repro.analysis.model_breakdown import (
+    compare_models,
+    model_breakdown_report,
+    model_kind_cycles,
+    model_layer_rows,
+    model_phase_summary,
+)
 
 __all__ = [
+    "compare_models",
+    "model_breakdown_report",
+    "model_kind_cycles",
+    "model_layer_rows",
+    "model_phase_summary",
     "granularity_ablation",
     "accumulator_placement_ablation",
     "unified_unit_ablation",

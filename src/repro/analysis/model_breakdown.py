@@ -1,0 +1,103 @@
+"""Per-layer and per-phase breakdown reporting for model-level runs.
+
+Consumes a :class:`repro.workloads.lowering.ModelRunResult` and produces the
+table rows and summary dictionaries the CLI ``model`` subcommand prints --
+the model-scale analogue of the per-kernel tables in
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.lowering import ModelRunResult
+
+LAYER_HEADERS = [
+    "layer",
+    "phase",
+    "kinds",
+    "cycles",
+    "span",
+    "MAC util %",
+    "energy uJ",
+]
+
+
+def model_layer_rows(result: ModelRunResult) -> List[List[str]]:
+    """One formatted row per layer: cycles, schedule span, utilization, energy."""
+    rows: List[List[str]] = []
+    for layer in result.layers:
+        rows.append(
+            [
+                layer.layer,
+                layer.phase,
+                "+".join(layer.kinds),
+                f"{layer.cycles:,}",
+                f"{layer.start:,}..{layer.end:,}",
+                f"{layer.mac_utilization_percent:.1f}" if layer.macs else "-",
+                f"{layer.energy_uj:.2f}",
+            ]
+        )
+    return rows
+
+
+def model_phase_summary(result: ModelRunResult) -> Dict[str, Dict[str, float]]:
+    """Per-phase totals: busy cycles, energy, and share of total energy."""
+    total_energy = sum(result.phase_energy_uj.values()) or 1.0
+    summary: Dict[str, Dict[str, float]] = {}
+    for phase, cycles in result.phase_cycles.items():
+        energy = result.phase_energy_uj.get(phase, 0.0)
+        summary[phase] = {
+            "busy_cycles": cycles,
+            "energy_uj": energy,
+            "energy_share_percent": 100.0 * energy / total_energy,
+        }
+    return summary
+
+
+def model_kind_cycles(result: ModelRunResult) -> Dict[str, int]:
+    """Busy cycles grouped by kernel kind (gemm / flash / simt)."""
+    totals: Dict[str, int] = {}
+    for layer in result.layers:
+        # Split the layer's cycles evenly when it mixes kinds; kernels of one
+        # layer are lowered from the same operator so this stays indicative.
+        share = layer.cycles // max(1, len(layer.kinds))
+        for kind in layer.kinds:
+            totals[kind] = totals.get(kind, 0) + share
+    return totals
+
+
+def model_breakdown_report(result: ModelRunResult) -> Dict[str, object]:
+    """The full JSON report the CLI emits with ``--json``."""
+    report = result.to_dict()
+    report["phase_summary"] = model_phase_summary(result)
+    report["kind_busy_cycles"] = model_kind_cycles(result)
+    return report
+
+
+def compare_models(
+    results: Sequence[ModelRunResult],
+) -> Tuple[List[str], List[List[str]]]:
+    """Headline comparison rows across several model runs (designs/phases)."""
+    headers = [
+        "model",
+        "design",
+        "kernels",
+        "total cycles",
+        "MAC util %",
+        "power mW",
+        "energy uJ",
+    ]
+    rows = [
+        [
+            result.model,
+            result.design_name + ("+hetero" if result.heterogeneous else ""),
+            str(result.kernel_count),
+            f"{result.total_cycles:,}",
+            f"{result.mac_utilization_percent:.1f}",
+            f"{result.active_power_mw:.1f}",
+            f"{result.active_energy_uj:.1f}",
+        ]
+        for result in results
+    ]
+    return headers, rows

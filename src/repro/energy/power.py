@@ -59,6 +59,17 @@ class PowerReport:
     def energy_by_component_uj(self) -> Dict[str, float]:
         return {key: value / 1e6 for key, value in self.energy_by_component_pj.items()}
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready encoding of the power/energy report."""
+        return {
+            "design": self.design_name,
+            "cycles": self.cycles,
+            "clock_mhz": self.clock_mhz,
+            "active_power_mw": self.active_power_mw,
+            "active_energy_uj": self.total_energy_uj,
+            "energy_by_component_uj": self.energy_by_component_uj(),
+        }
+
 
 def active_energy_uj(counters: Counters, table: EnergyTable) -> float:
     """Total active energy in microjoules for a counted event stream."""

@@ -23,7 +23,7 @@ from repro.kernels.gemm.virgo_gemm import VirgoGemmKernel
 from repro.sim.stats import Counters
 
 
-def _small_unit_config(base: MatrixUnitConfig, scale: int = 2) -> MatrixUnitConfig:
+def small_unit_config(base: MatrixUnitConfig, scale: int = 2) -> MatrixUnitConfig:
     """A unit with a mesh ``scale``x smaller in each dimension than ``base``."""
     rows = max(1, base.systolic_rows // scale)
     cols = max(1, base.systolic_cols // scale)
@@ -39,7 +39,7 @@ def _small_unit_config(base: MatrixUnitConfig, scale: int = 2) -> MatrixUnitConf
     )
 
 
-def _design_with_unit(base: DesignConfig, unit: MatrixUnitConfig) -> DesignConfig:
+def design_with_unit(base: DesignConfig, unit: MatrixUnitConfig) -> DesignConfig:
     cluster = replace(base.soc.cluster, matrix_unit=unit, matrix_units=1)
     return replace(base, soc=replace(base.soc, cluster=cluster))
 
@@ -111,10 +111,10 @@ def simulate_heterogeneous(
         raise ValueError("heterogeneous matrix units require the disaggregated design")
 
     large_unit = base.matrix_unit
-    small_unit = _small_unit_config(large_unit)
+    small_unit = small_unit_config(large_unit)
 
-    large_design = _design_with_unit(base, large_unit)
-    small_design = _design_with_unit(base, small_unit)
+    large_design = design_with_unit(base, large_unit)
+    small_design = design_with_unit(base, small_unit)
 
     large_workload = GemmWorkload.square(large_size)
     small_workload = GemmWorkload.square(small_size)

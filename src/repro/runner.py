@@ -8,6 +8,7 @@ counts.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Union
 
@@ -82,6 +83,20 @@ class GemmRunResult:
     def _table(self) -> EnergyTable:
         return EnergyTable.for_design(self.design.style)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready encoding shared by the CLI and result caches."""
+        return {
+            "kind": "gemm",
+            "design": self.design_name,
+            "workload": self.kernel.workload.name,
+            "dtype": self.kernel.workload.dtype.value,
+            "total_cycles": self.total_cycles,
+            "mac_utilization_percent": self.mac_utilization_percent,
+            "active_power_mw": self.active_power_mw,
+            "active_energy_uj": self.active_energy_uj,
+            "retired_instructions": self.retired_instructions,
+        }
+
 
 @dataclass
 class FlashAttentionRunResult:
@@ -114,6 +129,26 @@ class FlashAttentionRunResult:
     def soc_breakdown(self) -> EnergyBreakdown:
         table = EnergyTable.for_design(self.design.style)
         return soc_breakdown(self.design.name, self.kernel.counters, table)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready encoding shared by the CLI and result caches."""
+        workload = self.kernel.workload
+        return {
+            "kind": "flash_attention",
+            "design": self.design_name,
+            "seq_len": workload.seq_len,
+            "head_dim": workload.head_dim,
+            "heads": workload.heads,
+            "total_cycles": self.total_cycles,
+            "mac_utilization_percent": self.mac_utilization_percent,
+            "active_power_mw": self.active_power_mw,
+            "active_energy_uj": self.active_energy_uj,
+        }
+
+
+def to_json(result, indent: int | None = 2) -> str:
+    """Serialize any run result exposing ``to_dict()`` to a JSON string."""
+    return json.dumps(result.to_dict(), indent=indent, sort_keys=True)
 
 
 def _resolve(design: Union[DesignKind, DesignConfig], dtype: DataType) -> DesignConfig:

@@ -1,0 +1,106 @@
+"""End-to-end model workloads lowered onto the kernel timing models.
+
+This subsystem turns whole networks -- not single kernels -- into the unit
+of experiment, so cluster-level questions (does disaggregation still win
+when decode-phase GEMMs are skinny? what fraction of a serving step is
+softmax?) can be answered directly.
+
+Pipeline
+--------
+1. :mod:`repro.workloads.graph` -- a declarative layer-graph IR with shape
+   inference over (batch, sequence, features, heads);
+2. :mod:`repro.workloads.models` -- a model zoo building GPT-style decoders
+   (prefill and decode as separate graphs), BERT-style encoders and a
+   GEMM-chain baseline from a :class:`~repro.workloads.models.ModelSpec`;
+3. :mod:`repro.workloads.lowering` -- lowers each layer onto the existing
+   GEMM / FlashAttention / SIMT kernel models, schedules the resulting
+   dependency graph on the cluster's resources, and aggregates a
+   :class:`~repro.workloads.lowering.ModelRunResult`;
+4. :mod:`repro.workloads.batch` -- fans (model, design) sweeps over a
+   process pool with a content-hashed on-disk JSON result cache.
+
+Usage
+-----
+>>> from repro.workloads import run_model
+>>> result = run_model("gpt-prefill", "virgo")
+>>> result.total_cycles, result.mac_utilization_percent  # doctest: +SKIP
+
+From the command line::
+
+    python -m repro model --list
+    python -m repro model --name gpt-prefill --design virgo
+    python -m repro model --batch --names gpt-prefill,gpt-decode \\
+        --designs virgo,ampere --cache-dir /tmp/repro-cache
+"""
+
+from repro.workloads.graph import (
+    AttentionLayer,
+    ElementwiseLayer,
+    Layer,
+    LayerGraph,
+    LayerKind,
+    LinearLayer,
+    NormLayer,
+    TensorShape,
+)
+from repro.workloads.models import (
+    MODEL_ZOO,
+    ModelSpec,
+    bert_encoder,
+    build_model,
+    gemm_chain,
+    gpt_decoder,
+    model_names,
+    resolve_spec,
+    scaled_spec,
+)
+from repro.workloads.lowering import (
+    KernelInvocation,
+    KernelSchedule,
+    LayerRunResult,
+    ModelRunResult,
+    execute_schedule,
+    lower_graph,
+    run_model,
+)
+from repro.workloads.batch import (
+    BatchJob,
+    BatchOutcome,
+    BatchReport,
+    ResultCache,
+    run_batch,
+    sweep_jobs,
+)
+
+__all__ = [
+    "AttentionLayer",
+    "ElementwiseLayer",
+    "Layer",
+    "LayerGraph",
+    "LayerKind",
+    "LinearLayer",
+    "NormLayer",
+    "TensorShape",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "bert_encoder",
+    "build_model",
+    "gemm_chain",
+    "gpt_decoder",
+    "model_names",
+    "resolve_spec",
+    "scaled_spec",
+    "KernelInvocation",
+    "KernelSchedule",
+    "LayerRunResult",
+    "ModelRunResult",
+    "execute_schedule",
+    "lower_graph",
+    "run_model",
+    "BatchJob",
+    "BatchOutcome",
+    "BatchReport",
+    "ResultCache",
+    "run_batch",
+    "sweep_jobs",
+]

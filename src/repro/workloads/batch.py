@@ -1,0 +1,221 @@
+"""Parallel batch runner with a content-addressed on-disk result cache.
+
+Design-space sweeps over whole models multiply quickly: models x designs x
+phases x hyperparameter variants.  ``run_batch`` fans a list of
+:class:`BatchJob` records across a ``concurrent.futures`` process pool and
+memoizes every result in a JSON file keyed by a SHA-256 over the *content*
+of the job -- the resolved model hyperparameters, the design, the
+heterogeneous flag, the dtype and the package version -- so re-running a
+sweep after an unrelated change is free, and changing any hyperparameter
+transparently invalidates exactly the affected entries.
+
+Cache entries are the canonical ``ModelRunResult.to_dict()`` encoding (the
+same JSON the CLI prints), so cached and fresh results are indistinguishable
+to consumers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro import __version__
+from repro.config.soc import DataType
+from repro.workloads.models import ModelSpec, resolve_spec
+from repro.workloads.lowering import run_model
+
+#: Bump to invalidate every cache entry when the timing models change shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One (model, design) cell of a sweep.
+
+    ``model`` is a zoo name or an explicit :class:`ModelSpec`; specs are
+    resolved before hashing so two jobs naming the same content share a
+    cache entry regardless of how they were spelled.
+    """
+
+    model: Union[str, ModelSpec]
+    design: str = "virgo"
+    heterogeneous: bool = False
+    dtype: str = "fp16"
+
+    @property
+    def spec(self) -> ModelSpec:
+        return resolve_spec(self.model) if isinstance(self.model, str) else self.model
+
+    @property
+    def label(self) -> str:
+        name = self.model if isinstance(self.model, str) else self.model.family
+        suffix = "+hetero" if self.heterogeneous else ""
+        return f"{name}@{self.design}{suffix}"
+
+    def key(self) -> str:
+        """Content hash identifying this job's result."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "spec": self.spec.to_dict(),
+            "design": self.design.lower(),
+            "heterogeneous": self.heterogeneous,
+            "dtype": self.dtype.lower(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` files storing model-run results."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn write or corrupted entry is treated as a miss; the
+            # recompute below overwrites it atomically.
+            return None
+
+    def put(self, key: str, result: Dict[str, object]) -> None:
+        path = self.path_for(key)
+        # Write-to-temp + rename keeps concurrent workers from ever exposing
+        # a half-written entry to a reader.
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+@dataclass
+class BatchOutcome:
+    """One job's result plus where it came from."""
+
+    job: BatchJob
+    result: Dict[str, object]
+    from_cache: bool
+
+
+@dataclass
+class BatchReport:
+    """All outcomes of one ``run_batch`` call."""
+
+    outcomes: List[BatchOutcome] = field(default_factory=list)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.from_cache)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    def results(self) -> List[Dict[str, object]]:
+        return [outcome.result for outcome in self.outcomes]
+
+
+def _execute_job(job: BatchJob) -> Dict[str, object]:
+    """Process-pool worker: run one model end to end, return the dict encoding."""
+    dtype = DataType[job.dtype.upper()]
+    result = run_model(
+        job.spec, job.design, heterogeneous=job.heterogeneous, dtype=dtype
+    )
+    return result.to_dict()
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    cache_dir: Union[str, Path, None] = None,
+    max_workers: Optional[int] = None,
+) -> BatchReport:
+    """Run ``jobs``, reusing cached results and computing misses in parallel.
+
+    ``cache_dir=None`` disables caching.  ``max_workers`` <= 1 runs misses
+    inline (useful under test and on platforms without fork); otherwise the
+    misses fan out over a :class:`ProcessPoolExecutor`.  Failing to start
+    the pool (restricted environments) falls back to inline execution.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    hits: Dict[int, Dict[str, object]] = {}
+    misses: List[int] = []
+    keys = [job.key() for job in jobs]
+    for index, job in enumerate(jobs):
+        cached = cache.get(keys[index]) if cache is not None else None
+        if cached is not None:
+            hits[index] = cached
+        else:
+            misses.append(index)
+
+    fresh: Dict[int, Dict[str, object]] = {}
+    if misses:
+        workers = max_workers if max_workers is not None else min(len(misses), os.cpu_count() or 1)
+        if workers <= 1 or len(misses) == 1:
+            for index in misses:
+                fresh[index] = _execute_job(jobs[index])
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for index, result in zip(
+                        misses, pool.map(_execute_job, [jobs[index] for index in misses])
+                    ):
+                        fresh[index] = result
+            except (OSError, BrokenProcessPool):
+                # Restricted environments: the pool failed to start, or its
+                # workers were killed mid-sweep.  Results collected before
+                # the failure are kept; the remainder runs inline.
+                for index in misses:
+                    if index not in fresh:
+                        fresh[index] = _execute_job(jobs[index])
+        if cache is not None:
+            for index, result in fresh.items():
+                cache.put(keys[index], result)
+
+    report = BatchReport()
+    for index, job in enumerate(jobs):
+        if index in hits:
+            report.outcomes.append(BatchOutcome(job=job, result=hits[index], from_cache=True))
+        else:
+            report.outcomes.append(BatchOutcome(job=job, result=fresh[index], from_cache=False))
+    return report
+
+
+def sweep_jobs(
+    models: Sequence[Union[str, ModelSpec]],
+    designs: Sequence[str],
+    heterogeneous: bool = False,
+) -> List[BatchJob]:
+    """The cross product of models x designs as a job list."""
+    return [
+        BatchJob(model=model, design=design, heterogeneous=heterogeneous)
+        for model in models
+        for design in designs
+    ]

@@ -1,0 +1,300 @@
+"""Declarative layer-graph IR for end-to-end model workloads.
+
+A :class:`LayerGraph` is a small DAG of neural-network layers -- linear/GEMM,
+attention, elementwise and normalization nodes -- annotated with enough shape
+information (batch, sequence, features, heads) that the lowering pass in
+:mod:`repro.workloads.lowering` can map every node onto the kernel timing
+models without further user input.
+
+The IR is deliberately *not* a tensor program: there is no data, only shapes
+and operator hyperparameters.  Shape inference walks the graph in insertion
+order (dependencies must be added before dependents, the same discipline the
+:class:`repro.sim.taskgraph.OperationGraph` enforces) and checks that feature
+dimensions agree across edges, so a malformed model fails at build time
+rather than producing a nonsense kernel schedule.
+
+Attention nodes carry the variants a real model frontend must express --
+grouped-query / multi-query head counts, causal masking and decode-phase
+single-query attention against a longer KV context -- mirroring the variant
+matrix of the ROCm flash-attention test harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+class LayerKind(enum.Enum):
+    """Operator categories the lowering pass knows how to map."""
+
+    LINEAR = "linear"
+    ATTENTION = "attention"
+    ELEMENTWISE = "elementwise"
+    NORM = "norm"
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Activation shape flowing along a graph edge: (batch, seq, features)."""
+
+    batch: int
+    seq: int
+    features: int
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.seq <= 0 or self.features <= 0:
+            raise ValueError(f"tensor dimensions must be positive, got {self}")
+
+    @property
+    def tokens(self) -> int:
+        """Rows a row-major GEMM sees: batch x sequence."""
+        return self.batch * self.seq
+
+    @property
+    def elements(self) -> int:
+        return self.batch * self.seq * self.features
+
+    def with_features(self, features: int) -> "TensorShape":
+        return replace(self, features=features)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class of all graph nodes.
+
+    ``deps`` name the producing layers; a layer with no deps consumes the
+    graph input.  ``phase`` is a free-form label ("prefill", "decode",
+    "encode", ...) that survives lowering so per-phase aggregation works all
+    the way down to the :class:`~repro.workloads.lowering.ModelRunResult`.
+    """
+
+    name: str
+    deps: Tuple[str, ...] = ()
+    phase: str = ""
+
+    @property
+    def kind(self) -> LayerKind:
+        raise NotImplementedError
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        """Output shape given the shapes of ``deps`` (graph input if none)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinearLayer(Layer):
+    """A dense projection: (B, S, in_features) -> (B, S, out_features)."""
+
+    in_features: int = 0
+    out_features: int = 0
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError(f"linear layer {self.name!r} needs positive feature dims")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        shape = inputs[0]
+        if shape.features != self.in_features:
+            raise ValueError(
+                f"linear layer {self.name!r} expects {self.in_features} input features, "
+                f"got {shape.features}"
+            )
+        return shape.with_features(self.out_features)
+
+    def gemm_dims(self, shape: TensorShape) -> Tuple[int, int, int]:
+        """(m, n, k) of the GEMM this layer lowers to."""
+        return shape.tokens, self.out_features, self.in_features
+
+    @property
+    def weight_macs_per_token(self) -> int:
+        return self.in_features * self.out_features
+
+
+@dataclass(frozen=True)
+class AttentionLayer(Layer):
+    """Scaled-dot-product attention over pre-projected Q/K/V activations.
+
+    ``heads`` is the query head count; ``kv_heads`` < ``heads`` expresses
+    grouped-query attention (``kv_heads == 1`` is MQA).  ``kv_seq`` is the
+    key/value sequence length; in decode phase the incoming activation has
+    ``seq == 1`` while ``kv_seq`` is the full context.  ``causal`` marks the
+    triangular mask of autoregressive prefill, which halves the score work.
+    """
+
+    heads: int = 1
+    head_dim: int = 64
+    kv_heads: int = 0  # 0 means same as heads (vanilla MHA)
+    kv_seq: int = 0  # 0 means same as the query sequence length
+    causal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.heads <= 0 or self.head_dim <= 0:
+            raise ValueError(f"attention layer {self.name!r} needs positive heads/head_dim")
+        if self.kv_heads and self.heads % self.kv_heads != 0:
+            raise ValueError(
+                f"attention layer {self.name!r}: heads ({self.heads}) must be divisible "
+                f"by kv_heads ({self.kv_heads})"
+            )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ATTENTION
+
+    @property
+    def effective_kv_heads(self) -> int:
+        return self.kv_heads or self.heads
+
+    @property
+    def model_dim(self) -> int:
+        return self.heads * self.head_dim
+
+    def kv_length(self, shape: TensorShape) -> int:
+        return self.kv_seq or shape.seq
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        shape = inputs[0]
+        if shape.features != self.model_dim:
+            raise ValueError(
+                f"attention layer {self.name!r} expects {self.model_dim} features "
+                f"(= heads x head_dim), got {shape.features}"
+            )
+        return shape
+
+    def causal_work_fraction(self, shape: TensorShape) -> float:
+        """Fraction of score work surviving the mask: 0.5 for a full
+        triangular mask, 1.0 otherwise (including single-query decode).
+
+        Single source of truth for both :meth:`score_macs` and the lowering
+        pass's work scaling, so reported MAC utilization stays consistent.
+        """
+        if self.causal and shape.seq > 1 and self.kv_length(shape) == shape.seq:
+            return 0.5
+        return 1.0
+
+    def score_macs(self, shape: TensorShape) -> int:
+        """MACs of the two score GEMMs (QK^T and PV) across heads and batch."""
+        kv = self.kv_length(shape)
+        macs = 2 * shape.batch * self.heads * shape.seq * kv * self.head_dim
+        return int(macs * self.causal_work_fraction(shape))
+
+
+@dataclass(frozen=True)
+class ElementwiseLayer(Layer):
+    """Pointwise math on the activation: activations, residual adds, scaling."""
+
+    flops_per_element: float = 1.0
+    operator: str = "add"
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ELEMENTWISE
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        shape = inputs[0]
+        for other in inputs[1:]:
+            if other != shape:
+                raise ValueError(
+                    f"elementwise layer {self.name!r} has mismatched input shapes "
+                    f"{shape} vs {other}"
+                )
+        return shape
+
+
+@dataclass(frozen=True)
+class NormLayer(Layer):
+    """Layer/RMS normalization: two reduction passes plus a scale pass."""
+
+    flops_per_element: float = 8.0
+    norm_type: str = "layernorm"
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NORM
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return inputs[0]
+
+
+class LayerGraph:
+    """A DAG of layers plus the input activation shape.
+
+    Layers must be added dependencies-first, which keeps the insertion order
+    topological -- the same invariant the kernel operation graphs rely on, so
+    lowering can walk ``layers()`` directly.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        self.name = name
+        self.input_shape = input_shape
+        self._layers: Dict[str, Layer] = {}
+        self._order: List[str] = []
+        self._shapes: Dict[str, TensorShape] = {}
+
+    def add(self, layer: Layer) -> Layer:
+        if layer.name in self._layers:
+            raise ValueError(f"duplicate layer {layer.name!r} in graph {self.name!r}")
+        for dep in layer.deps:
+            if dep not in self._layers:
+                raise ValueError(
+                    f"layer {layer.name!r} depends on unknown layer {dep!r}; "
+                    "add dependencies before dependents"
+                )
+        inputs = [self._shapes[dep] for dep in layer.deps] or [self.input_shape]
+        self._shapes[layer.name] = layer.infer_shape(inputs)
+        self._layers[layer.name] = layer
+        self._order.append(layer.name)
+        return layer
+
+    def layers(self) -> List[Layer]:
+        return [self._layers[name] for name in self._order]
+
+    def output_shape(self, name: str) -> TensorShape:
+        """Inferred activation shape produced by layer ``name``."""
+        return self._shapes[name]
+
+    def input_shape_of(self, layer: Layer) -> TensorShape:
+        """Activation shape the layer consumes (first dependency or graph input)."""
+        if layer.deps:
+            return self._shapes[layer.deps[0]]
+        return self.input_shape
+
+    def phases(self) -> List[str]:
+        """Distinct phase labels in first-appearance order."""
+        seen: List[str] = []
+        for layer in self.layers():
+            label = layer.phase or "default"
+            if label not in seen:
+                seen.append(label)
+        return seen
+
+    def total_macs(self) -> int:
+        """Matrix-multiply MACs of the whole graph (linear + attention score GEMMs)."""
+        total = 0
+        for layer in self.layers():
+            shape = self.input_shape_of(layer)
+            if isinstance(layer, LinearLayer):
+                total += shape.tokens * layer.weight_macs_per_token
+            elif isinstance(layer, AttentionLayer):
+                total += layer.score_macs(shape)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers())
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerGraph({self.name!r}, {len(self)} layers, "
+            f"input={self.input_shape.batch}x{self.input_shape.seq}x{self.input_shape.features})"
+        )

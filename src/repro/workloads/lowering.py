@@ -1,0 +1,532 @@
+"""Lowering: map a layer graph onto kernel invocations and execute them.
+
+``lower_graph`` walks a :class:`~repro.workloads.graph.LayerGraph` in
+topological order and emits a :class:`KernelSchedule` -- a dependency-ordered
+list of kernel invocations, each bound to one of the existing timing models:
+
+* linear layers become :class:`GemmWorkload` runs on the design's matrix
+  unit path (``run_gemm``);
+* attention layers become :class:`FlashAttentionWorkload` runs on designs
+  with a fused mapping (Virgo, Ampere-style), and decompose into the two
+  score GEMMs plus a SIMT online-softmax kernel elsewhere -- and always in
+  decode phase, where the single-query shape defeats the fused kernel's
+  tiling;
+* elementwise and norm layers become SIMT kernels costed with the same
+  lane/issue model the softmax cost model uses.
+
+On the disaggregated design the ``heterogeneous`` flag routes small GEMMs
+(decode-phase projections, in practice) onto a half-size secondary matrix
+unit, reproducing the Section 6.3 dual-unit configuration at model scale:
+small kernels overlap with large ones instead of queueing behind them.
+
+``execute_schedule`` then runs every invocation through :mod:`repro.runner`,
+places the resulting durations on an :class:`repro.sim.taskgraph.OperationGraph`
+(so independent kernels overlap exactly where the resource model allows) and
+aggregates cycles, MAC utilization and energy per layer, per phase and for
+the whole model into a :class:`ModelRunResult`.
+
+Causal masks are modelled by scaling score-proportional work by the masked
+fraction (0.5 for a full triangular mask) rather than re-tiling the kernels;
+this matches the coarse-grained fidelity of the rest of the timing stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.config.presets import DesignKind, make_design
+from repro.config.soc import DataType, DesignConfig, IntegrationStyle
+from repro.energy.model import EnergyTable
+from repro.energy.power import PowerReport, make_power_report
+from repro.kernels.flash_attention import (
+    SOFTMAX_FLOPS_PER_ELEMENT,
+    FlashAttentionWorkload,
+)
+from repro.kernels.gemm import GemmWorkload
+from repro.kernels.heterogeneous import design_with_unit, small_unit_config
+from repro.runner import run_flash_attention, run_gemm
+from repro.sim.resources import Resource
+from repro.sim.stats import Counters
+from repro.sim.taskgraph import OperationGraph
+from repro.workloads.graph import (
+    AttentionLayer,
+    ElementwiseLayer,
+    Layer,
+    LayerGraph,
+    LayerKind,
+    LinearLayer,
+    NormLayer,
+)
+from repro.workloads.models import ModelSpec, build_model
+
+#: Resource names kernels contend for during schedule execution.
+MATRIX_RESOURCE = "matrix"
+SMALL_MATRIX_RESOURCE = "matrix.small"
+SIMT_RESOURCE = "simt"
+
+#: GEMMs below this MAC count ride the half-size unit in heterogeneous mode.
+HETERO_SMALL_GEMM_MACS = 1 << 24
+
+#: Non-FPU instruction overhead of SIMT elementwise loops (loads, stores,
+#: addressing, loop control) relative to FPU work, matching the softmax model.
+SIMT_OVERHEAD_RATIO = 1.0
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One schedulable kernel produced by lowering a layer.
+
+    ``workload`` is a :class:`GemmWorkload`, :class:`FlashAttentionWorkload`
+    or ``None`` for SIMT kernels (which carry ``elements``/``flops_per_element``
+    instead).  ``work_scale`` discounts cycles and activity for masked work
+    (causal attention) without changing the kernel's tiling.
+    """
+
+    name: str
+    layer: str
+    phase: str
+    kind: str  # "gemm" | "flash" | "simt"
+    resource: str
+    deps: Tuple[str, ...] = ()
+    workload: Union[GemmWorkload, FlashAttentionWorkload, None] = None
+    elements: int = 0
+    flops_per_element: float = 0.0
+    work_scale: float = 1.0
+
+
+@dataclass
+class KernelSchedule:
+    """A dependency-ordered kernel program for one (model, design) pair."""
+
+    model: str
+    design: DesignConfig
+    invocations: List[KernelInvocation]
+    heterogeneous: bool = False
+    small_design: Optional[DesignConfig] = None
+    ideal_mac_cycles: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.invocations)
+
+    def kernels_of(self, layer: str) -> List[KernelInvocation]:
+        return [inv for inv in self.invocations if inv.layer == layer]
+
+
+def _supports_fused_attention(design: DesignConfig) -> bool:
+    return design.style in (
+        IntegrationStyle.DISAGGREGATED,
+        IntegrationStyle.TIGHTLY_COUPLED_DMA,
+    )
+
+
+def _simt_cost(
+    design: DesignConfig, elements: int, flops_per_element: float
+) -> Tuple[int, Counters]:
+    """Cycles and activity for the SIMT cores to sweep ``elements`` once."""
+    cluster = design.cluster
+    lanes = cluster.cores * cluster.core.lanes
+    flops = elements * flops_per_element
+    fpu_cycles = flops / lanes
+    issue_cycles = fpu_cycles * (1.0 + SIMT_OVERHEAD_RATIO)
+    cycles = max(1, int(max(fpu_cycles, issue_cycles / cluster.core.issue_width)))
+
+    counters = Counters()
+    per_lane = flops / max(1, cluster.core.lanes)
+    overhead = per_lane * SIMT_OVERHEAD_RATIO
+    counters.add("core.fpu.ops", flops)
+    counters.add("core.issue.instructions", per_lane + overhead)
+    counters.add("core.alu.ops", overhead * cluster.core.lanes / 2)
+    counters.add("core.lsu.requests", overhead / 2)
+    counters.add("core.issue.rf_read_words", 2 * (flops + overhead * cluster.core.lanes))
+    counters.add("core.writeback.rf_write_words", flops)
+    counters.add("smem.core.read_words", elements)
+    counters.add("smem.core.write_words", elements)
+    return cycles, counters
+
+
+def _lower_attention(
+    layer: AttentionLayer,
+    graph: LayerGraph,
+    design: DesignConfig,
+    deps: Tuple[str, ...],
+    dtype: DataType,
+) -> List[KernelInvocation]:
+    shape = graph.input_shape_of(layer)
+    kv_len = layer.kv_length(shape)
+    scale = layer.causal_work_fraction(shape)
+    base = dict(layer=layer.name, phase=layer.phase or "default")
+
+    fused_shape = shape.seq > 1 and kv_len == shape.seq
+    if fused_shape and _supports_fused_attention(design):
+        workload = FlashAttentionWorkload(
+            seq_len=shape.seq,
+            head_dim=layer.head_dim,
+            heads=shape.batch * layer.heads,
+        )
+        return [
+            KernelInvocation(
+                name=f"{layer.name}.flash",
+                kind="flash",
+                resource=MATRIX_RESOURCE,
+                deps=deps,
+                workload=workload,
+                work_scale=scale,
+                **base,
+            )
+        ]
+
+    # Decomposed path: QK^T scores, SIMT softmax, PV output -- batched over
+    # (batch x query heads) by folding them into the GEMM M dimension.
+    rows = shape.batch * layer.heads * shape.seq
+    scores = KernelInvocation(
+        name=f"{layer.name}.scores",
+        kind="gemm",
+        resource=MATRIX_RESOURCE,
+        deps=deps,
+        workload=GemmWorkload(m=rows, n=kv_len, k=layer.head_dim, dtype=dtype),
+        work_scale=scale,
+        **base,
+    )
+    softmax = KernelInvocation(
+        name=f"{layer.name}.softmax",
+        kind="simt",
+        resource=SIMT_RESOURCE,
+        deps=(scores.name,),
+        elements=rows * kv_len,
+        flops_per_element=SOFTMAX_FLOPS_PER_ELEMENT,
+        work_scale=scale,
+        **base,
+    )
+    output = KernelInvocation(
+        name=f"{layer.name}.context",
+        kind="gemm",
+        resource=MATRIX_RESOURCE,
+        deps=(softmax.name,),
+        workload=GemmWorkload(m=rows, n=layer.head_dim, k=kv_len, dtype=dtype),
+        work_scale=scale,
+        **base,
+    )
+    return [scores, softmax, output]
+
+
+def lower_graph(
+    graph: LayerGraph,
+    design: Union[DesignKind, DesignConfig],
+    heterogeneous: bool = False,
+    dtype: DataType = DataType.FP16,
+) -> KernelSchedule:
+    """Lower every layer of ``graph`` to kernels on ``design``.
+
+    Returns a dependency-ordered :class:`KernelSchedule`; layer dependencies
+    become kernel dependencies between each layer's last kernel and its
+    consumers' first kernels.
+    """
+    config = make_design(design, dtype) if isinstance(design, DesignKind) else design
+    small_design: Optional[DesignConfig] = None
+    if heterogeneous:
+        if config.style is not IntegrationStyle.DISAGGREGATED:
+            raise ValueError("heterogeneous lowering requires the disaggregated design")
+        small_design = design_with_unit(config, small_unit_config(config.matrix_unit))
+
+    invocations: List[KernelInvocation] = []
+    last_kernel: Dict[str, str] = {}  # layer name -> its final kernel name
+
+    for layer in graph.layers():
+        deps = tuple(last_kernel[dep] for dep in layer.deps)
+        shape = graph.input_shape_of(layer)
+        phase = layer.phase or "default"
+
+        if isinstance(layer, LinearLayer):
+            m, n, k = layer.gemm_dims(shape)
+            workload = GemmWorkload(m=m, n=n, k=k, dtype=dtype)
+            resource = MATRIX_RESOURCE
+            if small_design is not None and workload.macs < HETERO_SMALL_GEMM_MACS:
+                resource = SMALL_MATRIX_RESOURCE
+            lowered = [
+                KernelInvocation(
+                    name=f"{layer.name}.gemm",
+                    layer=layer.name,
+                    phase=phase,
+                    kind="gemm",
+                    resource=resource,
+                    deps=deps,
+                    workload=workload,
+                )
+            ]
+        elif isinstance(layer, AttentionLayer):
+            lowered = _lower_attention(layer, graph, config, deps, dtype)
+        elif isinstance(layer, (ElementwiseLayer, NormLayer)):
+            if layer.flops_per_element <= 0:
+                # Zero-cost bookkeeping nodes (views/slices) lower to nothing;
+                # dependents inherit their dependencies.
+                last_kernel[layer.name] = deps[0] if deps else ""
+                continue
+            lowered = [
+                KernelInvocation(
+                    name=f"{layer.name}.simt",
+                    layer=layer.name,
+                    phase=phase,
+                    kind="simt",
+                    resource=SIMT_RESOURCE,
+                    deps=deps,
+                    elements=graph.output_shape(layer.name).elements,
+                    flops_per_element=layer.flops_per_element,
+                )
+            ]
+        else:
+            raise ValueError(f"no lowering rule for layer kind {layer.kind!r}")
+
+        invocations.extend(lowered)
+        last_kernel[layer.name] = lowered[-1].name
+
+    ideal = graph.total_macs() / float(config.soc.total_macs_per_cycle)
+    return KernelSchedule(
+        model=graph.name,
+        design=config,
+        invocations=invocations,
+        heterogeneous=heterogeneous,
+        small_design=small_design,
+        ideal_mac_cycles=ideal,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class LayerRunResult:
+    """Aggregated metrics of all kernels lowered from one layer."""
+
+    layer: str
+    phase: str
+    kinds: Tuple[str, ...]
+    kernels: Tuple[str, ...]
+    cycles: int
+    start: int
+    end: int
+    energy_uj: float
+    mac_utilization_percent: float
+    macs: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "layer": self.layer,
+            "phase": self.phase,
+            "kinds": list(self.kinds),
+            "kernels": list(self.kernels),
+            "cycles": self.cycles,
+            "start": self.start,
+            "end": self.end,
+            "energy_uj": self.energy_uj,
+            "mac_utilization_percent": self.mac_utilization_percent,
+            "macs": self.macs,
+        }
+
+
+@dataclass
+class ModelRunResult:
+    """End-to-end outcome of one model on one design.
+
+    ``total_cycles`` is the makespan of the resource-constrained kernel
+    schedule (independent kernels overlap); per-layer cycles are each
+    layer's own busy time and therefore sum to more than the makespan
+    whenever overlap happens.
+    """
+
+    model: str
+    design: DesignConfig
+    total_cycles: int
+    layers: List[LayerRunResult]
+    power: PowerReport
+    counters: Counters
+    ideal_mac_cycles: float
+    heterogeneous: bool = False
+    phase_cycles: Dict[str, int] = field(default_factory=dict)
+    phase_energy_uj: Dict[str, float] = field(default_factory=dict)
+    resource_busy: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def design_name(self) -> str:
+        return self.design.name
+
+    @property
+    def mac_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.ideal_mac_cycles / self.total_cycles)
+
+    @property
+    def mac_utilization_percent(self) -> float:
+        return 100.0 * self.mac_utilization
+
+    @property
+    def active_power_mw(self) -> float:
+        return self.power.active_power_mw
+
+    @property
+    def active_energy_uj(self) -> float:
+        return self.power.total_energy_uj
+
+    @property
+    def kernel_count(self) -> int:
+        return sum(len(layer.kernels) for layer in self.layers)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "model",
+            "model": self.model,
+            "design": self.design_name,
+            "heterogeneous": self.heterogeneous,
+            "total_cycles": self.total_cycles,
+            "kernel_count": self.kernel_count,
+            "mac_utilization_percent": self.mac_utilization_percent,
+            "active_power_mw": self.active_power_mw,
+            "active_energy_uj": self.active_energy_uj,
+            "phase_cycles": dict(self.phase_cycles),
+            "phase_energy_uj": dict(self.phase_energy_uj),
+            "resource_busy_cycles": dict(self.resource_busy),
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+
+def _scaled_cycles(cycles: int, scale: float) -> int:
+    return max(1, int(round(cycles * scale)))
+
+
+def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
+    """Run every kernel of ``schedule`` and assemble the model-level result."""
+    design = schedule.design
+    table = EnergyTable.for_design(design.style)
+
+    # Phase 1: per-kernel simulation through the existing runner entry points.
+    durations: Dict[str, int] = {}
+    kernel_counters: Dict[str, Counters] = {}
+    kernel_util: Dict[str, float] = {}
+    kernel_macs: Dict[str, int] = {}
+    for inv in schedule.invocations:
+        if inv.kind == "gemm":
+            target = (
+                schedule.small_design
+                if inv.resource == SMALL_MATRIX_RESOURCE and schedule.small_design
+                else design
+            )
+            run = run_gemm(target, inv.workload, inv.workload.dtype)
+            cycles, counters = run.total_cycles, run.counters
+            kernel_util[inv.name] = run.kernel.mac_utilization
+            kernel_macs[inv.name] = inv.workload.macs
+        elif inv.kind == "flash":
+            run = run_flash_attention(design, inv.workload)
+            cycles, counters = run.total_cycles, run.kernel.counters
+            kernel_util[inv.name] = run.kernel.mac_utilization
+            kernel_macs[inv.name] = inv.workload.gemm_macs
+        else:
+            cycles, counters = _simt_cost(design, inv.elements, inv.flops_per_element)
+            kernel_util[inv.name] = 0.0
+            kernel_macs[inv.name] = 0
+        durations[inv.name] = _scaled_cycles(cycles, inv.work_scale)
+        kernel_counters[inv.name] = (
+            counters.scaled(inv.work_scale) if inv.work_scale != 1.0 else counters
+        )
+
+    # Phase 2: place the kernels on the cluster's resources; independent
+    # kernels (e.g. SIMT elementwise vs the next layer's GEMM, or small-unit
+    # vs large-unit GEMMs in heterogeneous mode) overlap.
+    op_graph = OperationGraph()
+    op_graph.add_resource(Resource(MATRIX_RESOURCE))
+    op_graph.add_resource(Resource(SIMT_RESOURCE))
+    if schedule.heterogeneous:
+        op_graph.add_resource(Resource(SMALL_MATRIX_RESOURCE))
+    for inv in schedule.invocations:
+        op_graph.add_operation(
+            inv.name,
+            inv.resource,
+            durations[inv.name],
+            deps=[dep for dep in inv.deps if dep],
+            kind=inv.kind,
+        )
+    placed = op_graph.schedule()
+
+    # Phase 3: aggregate per layer, per phase and model-wide.
+    layer_order: List[str] = []
+    by_layer: Dict[str, List[KernelInvocation]] = {}
+    for inv in schedule.invocations:
+        if inv.layer not in by_layer:
+            layer_order.append(inv.layer)
+            by_layer[inv.layer] = []
+        by_layer[inv.layer].append(inv)
+
+    total_counters = Counters()
+    layers: List[LayerRunResult] = []
+    phase_cycles: Dict[str, int] = {}
+    phase_energy: Dict[str, float] = {}
+    for layer_name in layer_order:
+        invs = by_layer[layer_name]
+        layer_counters = Counters()
+        for inv in invs:
+            layer_counters.merge(kernel_counters[inv.name])
+        energy_uj = table.energy_picojoules(layer_counters) / 1e6
+        cycles = sum(durations[inv.name] for inv in invs)
+        start = min(placed.scheduled[inv.name].start for inv in invs)
+        end = max(placed.scheduled[inv.name].end for inv in invs)
+        macs = sum(kernel_macs[inv.name] for inv in invs)
+        # MAC-weighted utilization across the layer's matrix kernels.
+        weighted = sum(
+            kernel_util[inv.name] * kernel_macs[inv.name] for inv in invs
+        )
+        utilization = 100.0 * weighted / macs if macs else 0.0
+        phase = invs[0].phase
+        layers.append(
+            LayerRunResult(
+                layer=layer_name,
+                phase=phase,
+                kinds=tuple(dict.fromkeys(inv.kind for inv in invs)),
+                kernels=tuple(inv.name for inv in invs),
+                cycles=cycles,
+                start=start,
+                end=end,
+                energy_uj=energy_uj,
+                mac_utilization_percent=utilization,
+                macs=macs,
+            )
+        )
+        phase_cycles[phase] = phase_cycles.get(phase, 0) + cycles
+        phase_energy[phase] = phase_energy.get(phase, 0.0) + energy_uj
+        total_counters.merge(layer_counters)
+
+    power = make_power_report(
+        design.name, total_counters, table, placed.total_cycles, design.soc
+    )
+    return ModelRunResult(
+        model=schedule.model,
+        design=design,
+        total_cycles=placed.total_cycles,
+        layers=layers,
+        power=power,
+        counters=total_counters,
+        ideal_mac_cycles=schedule.ideal_mac_cycles,
+        heterogeneous=schedule.heterogeneous,
+        phase_cycles=phase_cycles,
+        phase_energy_uj=phase_energy,
+        resource_busy=placed.resource_busy,
+    )
+
+
+def run_model(
+    model: Union[str, ModelSpec, LayerGraph],
+    design: Union[str, DesignKind, DesignConfig] = DesignKind.VIRGO,
+    heterogeneous: bool = False,
+    dtype: DataType = DataType.FP16,
+) -> ModelRunResult:
+    """Lower and execute a full model workload on one design.
+
+    ``model`` may be a zoo name (``"gpt-prefill"``), an explicit
+    :class:`ModelSpec`, or an already-built :class:`LayerGraph`.
+    """
+    graph = model if isinstance(model, LayerGraph) else build_model(model)
+    if isinstance(design, str):
+        design = DesignKind(design.lower())
+    schedule = lower_graph(graph, design, heterogeneous=heterogeneous, dtype=dtype)
+    return execute_schedule(schedule)

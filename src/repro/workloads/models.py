@@ -1,0 +1,335 @@
+"""Model zoo: build full layer graphs from a handful of hyperparameters.
+
+Three families cover the scenario space the evaluation cares about:
+
+* GPT-style decoder blocks, with the **prefill** phase (full-sequence causal
+  attention) and the **decode** phase (one query token against a long KV
+  context) built as separate graphs, since their kernel mixes differ sharply;
+* BERT-style encoder blocks (bidirectional attention, no mask);
+* a GEMM-chain baseline (an MLP / im2col-style CNN stand-in) that exercises
+  the matrix-unit path with no attention at all.
+
+All builders take a :class:`ModelSpec` so a design-space sweep can vary
+hidden size, depth, head layout (including GQA/MQA via ``kv_heads``),
+sequence length and batch from one record -- and so the batch runner can
+content-hash the exact workload it ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List
+
+from repro.workloads.graph import (
+    AttentionLayer,
+    ElementwiseLayer,
+    LayerGraph,
+    LinearLayer,
+    NormLayer,
+    TensorShape,
+)
+
+#: FLOPs per element of a GeLU evaluated with the tanh approximation.
+GELU_FLOPS = 8.0
+#: FLOPs per element of a residual add.
+RESIDUAL_FLOPS = 1.0
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Hyperparameters of one model workload instance.
+
+    ``phase`` selects prefill vs decode for GPT models; ``context_len`` is
+    the KV length decode attends over (ignored for other phases).
+    """
+
+    family: str = "gpt"
+    batch: int = 1
+    seq_len: int = 256
+    hidden: int = 512
+    blocks: int = 2
+    heads: int = 8
+    kv_heads: int = 0  # 0 = same as heads; 1 = MQA; in between = GQA
+    ffn_mult: int = 4
+    phase: str = "prefill"
+    context_len: int = 0  # decode-phase KV length; 0 = seq_len
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads != 0:
+            raise ValueError(
+                f"hidden ({self.hidden}) must be divisible by heads ({self.heads})"
+            )
+        if self.batch <= 0 or self.seq_len <= 0 or self.blocks <= 0:
+            raise ValueError("batch, seq_len and blocks must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+    @property
+    def ffn_hidden(self) -> int:
+        return self.ffn_mult * self.hidden
+
+    @property
+    def effective_kv_heads(self) -> int:
+        return self.kv_heads or self.heads
+
+    @property
+    def qkv_features(self) -> int:
+        """Output width of the fused QKV projection (GQA shrinks K/V)."""
+        return (self.heads + 2 * self.effective_kv_heads) * self.head_dim
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _transformer_block(
+    graph: LayerGraph,
+    spec: ModelSpec,
+    index: int,
+    previous: str,
+    phase: str,
+    causal: bool,
+    kv_seq: int,
+) -> str:
+    """Append one pre-norm transformer block; returns the output layer name."""
+    prefix = f"block{index}"
+    deps = (previous,) if previous else ()
+
+    graph.add(NormLayer(name=f"{prefix}.ln1", deps=deps, phase=phase))
+    # The fused QKV projection keeps its full width; attention then operates
+    # on the query slice (heads x head_dim), which is what reaches the output
+    # projection -- the K/V slices feed the score GEMMs inside the attention
+    # node itself.
+    graph.add(
+        LinearLayer(
+            name=f"{prefix}.qkv",
+            deps=(f"{prefix}.ln1",),
+            phase=phase,
+            in_features=spec.hidden,
+            out_features=spec.qkv_features,
+        )
+    )
+    graph.add(
+        ElementwiseLayer(
+            name=f"{prefix}.qkv_split",
+            deps=(f"{prefix}.qkv",),
+            phase=phase,
+            flops_per_element=0.0,
+            operator="slice",
+        )
+    )
+    graph.add(
+        _AttentionOnQuerySlice(
+            name=f"{prefix}.attn",
+            deps=(f"{prefix}.qkv_split",),
+            phase=phase,
+            heads=spec.heads,
+            head_dim=spec.head_dim,
+            kv_heads=spec.kv_heads,
+            kv_seq=kv_seq,
+            causal=causal,
+            query_features=spec.qkv_features,
+        )
+    )
+    graph.add(
+        LinearLayer(
+            name=f"{prefix}.proj",
+            deps=(f"{prefix}.attn",),
+            phase=phase,
+            in_features=spec.hidden,
+            out_features=spec.hidden,
+        )
+    )
+    residual_deps = (f"{prefix}.proj", previous) if previous else (f"{prefix}.proj",)
+    graph.add(
+        ElementwiseLayer(
+            name=f"{prefix}.residual1",
+            deps=residual_deps,
+            phase=phase,
+            flops_per_element=RESIDUAL_FLOPS,
+        )
+    )
+
+    graph.add(NormLayer(name=f"{prefix}.ln2", deps=(f"{prefix}.residual1",), phase=phase))
+    graph.add(
+        LinearLayer(
+            name=f"{prefix}.ffn_up",
+            deps=(f"{prefix}.ln2",),
+            phase=phase,
+            in_features=spec.hidden,
+            out_features=spec.ffn_hidden,
+        )
+    )
+    graph.add(
+        ElementwiseLayer(
+            name=f"{prefix}.gelu",
+            deps=(f"{prefix}.ffn_up",),
+            phase=phase,
+            flops_per_element=GELU_FLOPS,
+            operator="gelu",
+        )
+    )
+    graph.add(
+        LinearLayer(
+            name=f"{prefix}.ffn_down",
+            deps=(f"{prefix}.gelu",),
+            phase=phase,
+            in_features=spec.ffn_hidden,
+            out_features=spec.hidden,
+        )
+    )
+    graph.add(
+        ElementwiseLayer(
+            name=f"{prefix}.residual2",
+            deps=(f"{prefix}.ffn_down", f"{prefix}.residual1"),
+            phase=phase,
+            flops_per_element=RESIDUAL_FLOPS,
+        )
+    )
+    return f"{prefix}.residual2"
+
+
+@dataclass(frozen=True)
+class _AttentionOnQuerySlice(AttentionLayer):
+    """Attention fed by a fused-QKV activation: validates the fused width,
+    emits the query-width output that the rest of the block consumes."""
+
+    query_features: int = 0
+
+    def infer_shape(self, inputs):  # type: ignore[override]
+        shape = inputs[0]
+        if self.query_features and shape.features != self.query_features:
+            raise ValueError(
+                f"attention layer {self.name!r} expects the fused QKV width "
+                f"{self.query_features}, got {shape.features}"
+            )
+        return shape.with_features(self.model_dim)
+
+
+def gpt_decoder(spec: ModelSpec) -> LayerGraph:
+    """GPT-style stack of pre-norm decoder blocks.
+
+    ``spec.phase == "prefill"`` builds causal full-sequence attention;
+    ``spec.phase == "decode"`` builds single-token queries (seq 1) attending
+    over ``context_len`` cached KV entries -- the kernel mix that dominates
+    serving, where every GEMM degenerates to a skinny matrix-vector shape.
+    """
+    decode = spec.phase == "decode"
+    seq = 1 if decode else spec.seq_len
+    kv_seq = (spec.context_len or spec.seq_len) if decode else 0
+    shape = TensorShape(batch=spec.batch, seq=seq, features=spec.hidden)
+    graph = LayerGraph(f"gpt-{spec.phase}", shape)
+    previous = ""
+    for index in range(spec.blocks):
+        previous = _transformer_block(
+            graph,
+            spec,
+            index,
+            previous,
+            phase=spec.phase,
+            causal=not decode,
+            kv_seq=kv_seq,
+        )
+    graph.add(NormLayer(name="final_ln", deps=(previous,), phase=spec.phase))
+    return graph
+
+
+def bert_encoder(spec: ModelSpec) -> LayerGraph:
+    """BERT-style bidirectional encoder: full-sequence attention, no mask."""
+    shape = TensorShape(batch=spec.batch, seq=spec.seq_len, features=spec.hidden)
+    graph = LayerGraph("bert-encoder", shape)
+    previous = ""
+    for index in range(spec.blocks):
+        previous = _transformer_block(
+            graph, spec, index, previous, phase="encode", causal=False, kv_seq=0
+        )
+    graph.add(NormLayer(name="final_ln", deps=(previous,), phase="encode"))
+    return graph
+
+
+def gemm_chain(spec: ModelSpec) -> LayerGraph:
+    """MLP / im2col-CNN-style chain: alternating projections and activations.
+
+    Widths alternate hidden <-> ffn_hidden so both fat and skinny GEMMs
+    appear, which is what distinguishes the designs' scheduling behaviour.
+    """
+    shape = TensorShape(batch=spec.batch, seq=spec.seq_len, features=spec.hidden)
+    graph = LayerGraph("gemm-chain", shape)
+    previous = ""
+    width = spec.hidden
+    for index in range(spec.blocks):
+        next_width = spec.ffn_hidden if index % 2 == 0 else spec.hidden
+        deps = (previous,) if previous else ()
+        graph.add(
+            LinearLayer(
+                name=f"fc{index}",
+                deps=deps,
+                phase="forward",
+                in_features=width,
+                out_features=next_width,
+            )
+        )
+        graph.add(
+            ElementwiseLayer(
+                name=f"relu{index}",
+                deps=(f"fc{index}",),
+                phase="forward",
+                flops_per_element=1.0,
+                operator="relu",
+            )
+        )
+        previous = f"relu{index}"
+        width = next_width
+    return graph
+
+
+#: Zoo entries: name -> (spec, builder).  Sizes are kept modest so a full
+#: model run completes in seconds while still spanning dozens of kernels.
+_BUILDERS: Dict[str, Callable[[ModelSpec], LayerGraph]] = {
+    "gpt": gpt_decoder,
+    "bert": bert_encoder,
+    "mlp": gemm_chain,
+}
+
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    "gpt-prefill": ModelSpec(family="gpt", phase="prefill", seq_len=256, hidden=512,
+                             blocks=2, heads=8),
+    "gpt-decode": ModelSpec(family="gpt", phase="decode", seq_len=256, hidden=512,
+                            blocks=2, heads=8, context_len=1024),
+    "gpt-gqa-prefill": ModelSpec(family="gpt", phase="prefill", seq_len=256, hidden=512,
+                                 blocks=2, heads=8, kv_heads=2),
+    "bert-base-ish": ModelSpec(family="bert", phase="encode", seq_len=128, hidden=768,
+                               blocks=2, heads=12),
+    "mlp-chain": ModelSpec(family="mlp", phase="forward", seq_len=64, hidden=1024,
+                           blocks=4, heads=8),
+}
+
+
+def model_names() -> List[str]:
+    return sorted(MODEL_ZOO)
+
+
+def resolve_spec(name: str) -> ModelSpec:
+    """Look up a zoo entry, raising with the valid names on a miss."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        valid = ", ".join(model_names())
+        raise KeyError(f"unknown model {name!r}; choose one of: {valid}") from None
+
+
+def build_model(spec_or_name) -> LayerGraph:
+    """Build the layer graph for a zoo name or an explicit :class:`ModelSpec`."""
+    spec = resolve_spec(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
+    try:
+        builder = _BUILDERS[spec.family]
+    except KeyError:
+        valid = ", ".join(sorted(_BUILDERS))
+        raise ValueError(f"unknown model family {spec.family!r}; one of: {valid}") from None
+    return builder(spec)
+
+
+def scaled_spec(base: ModelSpec, **overrides) -> ModelSpec:
+    """A copy of ``base`` with hyperparameters overridden (sweep helper)."""
+    return replace(base, **overrides)

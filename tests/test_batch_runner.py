@@ -1,0 +1,123 @@
+"""Tests for the cached parallel batch runner."""
+
+import json
+
+import pytest
+
+import repro.workloads.batch as batch_module
+from repro.workloads import (
+    BatchJob,
+    ResultCache,
+    run_batch,
+    resolve_spec,
+    scaled_spec,
+    sweep_jobs,
+)
+
+#: A deliberately tiny spec so batch tests stay fast.
+TINY = scaled_spec(resolve_spec("gpt-decode"), blocks=1, hidden=128, heads=4, context_len=64)
+
+
+class TestCacheKeys:
+    def test_key_is_deterministic(self):
+        assert BatchJob(TINY, "virgo").key() == BatchJob(TINY, "virgo").key()
+
+    def test_key_depends_on_design_and_flags(self):
+        base = BatchJob(TINY, "virgo")
+        assert base.key() != BatchJob(TINY, "ampere").key()
+        assert base.key() != BatchJob(TINY, "virgo", heterogeneous=True).key()
+
+    def test_key_depends_on_spec_content(self):
+        other = scaled_spec(TINY, context_len=128)
+        assert BatchJob(TINY, "virgo").key() != BatchJob(other, "virgo").key()
+
+    def test_name_and_spec_spellings_share_a_key(self):
+        by_name = BatchJob("gpt-decode", "virgo")
+        by_spec = BatchJob(resolve_spec("gpt-decode"), "virgo")
+        assert by_name.key() == by_spec.key()
+
+
+class TestResultCache:
+    def test_missing_entry_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("deadbeef") is None
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"total_cycles": 42})
+        assert cache.get("k") == {"total_cycles": 42}
+        assert len(cache) == 1
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("bad").write_text("{not json", encoding="utf-8")
+        assert cache.get("bad") is None
+
+
+class TestRunBatch:
+    def test_second_run_hits_cache_without_recomputation(self, tmp_path, monkeypatch):
+        jobs = [BatchJob(TINY, "virgo"), BatchJob(TINY, "ampere")]
+
+        first = run_batch(jobs, cache_dir=tmp_path, max_workers=1)
+        assert first.computed == 2 and first.cached == 0
+
+        # Any recomputation on the second run would call the worker; poison it.
+        def explode(job):
+            raise AssertionError(f"job {job.label} recomputed despite warm cache")
+
+        monkeypatch.setattr(batch_module, "_execute_job", explode)
+        second = run_batch(jobs, cache_dir=tmp_path, max_workers=1)
+        assert second.computed == 0 and second.cached == 2
+        assert [o.result for o in second.outcomes] == [o.result for o in first.outcomes]
+
+    def test_results_match_direct_run(self, tmp_path):
+        job = BatchJob(TINY, "virgo")
+        report = run_batch([job], cache_dir=tmp_path, max_workers=1)
+        direct = batch_module.run_model(TINY, "virgo").to_dict()
+        assert report.outcomes[0].result == direct
+
+    def test_no_cache_dir_disables_caching(self):
+        report = run_batch([BatchJob(TINY, "virgo")], cache_dir=None, max_workers=1)
+        assert report.computed == 1
+        report_again = run_batch([BatchJob(TINY, "virgo")], cache_dir=None, max_workers=1)
+        assert report_again.computed == 1
+
+    def test_spec_change_invalidates_only_affected_entries(self, tmp_path):
+        job_a = BatchJob(TINY, "virgo")
+        run_batch([job_a], cache_dir=tmp_path, max_workers=1)
+        job_b = BatchJob(scaled_spec(TINY, context_len=128), "virgo")
+        report = run_batch([job_a, job_b], cache_dir=tmp_path, max_workers=1)
+        assert report.cached == 1 and report.computed == 1
+
+    def test_process_pool_path(self, tmp_path):
+        """Misses fan out over worker processes and still land in the cache."""
+        jobs = [BatchJob(TINY, "virgo"), BatchJob(TINY, "ampere")]
+        report = run_batch(jobs, cache_dir=tmp_path, max_workers=2)
+        assert report.computed == 2
+        assert len(ResultCache(tmp_path)) == 2
+        for outcome in report.outcomes:
+            json.dumps(outcome.result)
+
+    def test_cached_entries_are_canonical_json_files(self, tmp_path):
+        job = BatchJob(TINY, "virgo")
+        run_batch([job], cache_dir=tmp_path, max_workers=1)
+        path = ResultCache(tmp_path).path_for(job.key())
+        assert path.exists()
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["kind"] == "model"
+        assert on_disk["design"] == "Virgo"
+
+
+class TestSweepJobs:
+    def test_cross_product(self):
+        jobs = sweep_jobs(["gpt-prefill", "gpt-decode"], ["virgo", "ampere"])
+        assert len(jobs) == 4
+        assert {job.label for job in jobs} == {
+            "gpt-prefill@virgo",
+            "gpt-prefill@ampere",
+            "gpt-decode@virgo",
+            "gpt-decode@ampere",
+        }
+
+    def test_unknown_model_fails_at_key_time(self):
+        with pytest.raises(KeyError):
+            BatchJob("not-a-model", "virgo").key()

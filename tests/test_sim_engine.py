@@ -1,0 +1,215 @@
+"""Edge-case coverage for the discrete-event engine and the taskgraph scheduler.
+
+Complements ``tests/test_sim.py`` with the corners the kernel models lean on:
+``Event.cancel()`` semantics end to end through the simulator, deterministic
+same-cycle ordering by sequence number, and diamond-shaped dependency
+patterns in the operation-graph scheduler.
+"""
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulator
+from repro.sim.resources import Resource
+from repro.sim.taskgraph import OperationGraph
+
+
+class TestEventCancel:
+    def test_cancelled_event_never_runs(self):
+        simulator = Simulator()
+        fired = []
+        event = simulator.schedule(5, lambda: fired.append("cancelled"))
+        simulator.schedule(10, lambda: fired.append("kept"))
+        event.cancel()
+        simulator.run()
+        assert fired == ["kept"]
+
+    def test_cancel_mid_run_from_earlier_callback(self):
+        """A callback may cancel a later event that is already enqueued."""
+        simulator = Simulator()
+        fired = []
+        victim = simulator.schedule(20, lambda: fired.append("victim"))
+        simulator.schedule(10, victim.cancel)
+        simulator.run()
+        assert fired == []
+        assert simulator.now == 10  # time never advances to the cancelled event
+
+    def test_cancel_same_cycle_later_event(self):
+        """Cancelling a same-cycle event that is behind in sequence order works."""
+        simulator = Simulator()
+        fired = []
+        first_holder = {}
+
+        def canceller():
+            fired.append("canceller")
+            first_holder["victim"].cancel()
+
+        simulator.schedule(5, canceller)
+        first_holder["victim"] = simulator.schedule(5, lambda: fired.append("victim"))
+        simulator.run()
+        assert fired == ["canceller"]
+
+    def test_cancelled_events_not_counted_as_processed(self):
+        simulator = Simulator()
+        event = simulator.schedule(1, lambda: None)
+        simulator.schedule(2, lambda: None)
+        event.cancel()
+        simulator.run()
+        assert simulator.events_processed == 1
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1, lambda: None)
+        queue.push(7, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 7
+
+    def test_peek_time_empty_after_all_cancelled(self):
+        queue = EventQueue()
+        only = queue.push(3, lambda: None)
+        only.cancel()
+        assert queue.peek_time() is None
+        assert not queue
+
+    def test_run_until_with_cancelled_tail(self):
+        """``run(until=...)`` still lands on ``until`` when the tail is cancelled."""
+        simulator = Simulator()
+        tail = simulator.schedule(100, lambda: None)
+        tail.cancel()
+        simulator.run(until=50)
+        assert simulator.now == 50
+
+
+class TestSameCycleOrdering:
+    def test_sequence_breaks_time_ties_fifo(self):
+        simulator = Simulator()
+        order = []
+        for index in range(5):
+            simulator.schedule(10, lambda index=index: order.append(index))
+        simulator.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_zero_delay_event_runs_after_current_same_cycle_events(self):
+        """An event scheduled at the current cycle runs this cycle, after
+        already-enqueued same-cycle events (its sequence number is larger)."""
+        simulator = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            simulator.schedule(0, lambda: order.append("chained"))
+
+        simulator.schedule(5, first)
+        simulator.schedule(5, lambda: order.append("second"))
+        simulator.run()
+        assert order == ["first", "second", "chained"]
+        assert simulator.now == 5
+
+    def test_interleaved_times_still_sequence_ordered_within_cycle(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(2, lambda: order.append("t2.a"))
+        simulator.schedule(1, lambda: order.append("t1.a"))
+        simulator.schedule(2, lambda: order.append("t2.b"))
+        simulator.schedule(1, lambda: order.append("t1.b"))
+        simulator.run()
+        assert order == ["t1.a", "t1.b", "t2.a", "t2.b"]
+
+    def test_queue_pop_orders_by_sequence_at_same_time(self):
+        queue = EventQueue()
+        first = queue.push(4, lambda: None)
+        second = queue.push(4, lambda: None)
+        assert first.sequence < second.sequence
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+
+class TestDiamondDependencies:
+    def _graph(self):
+        graph = OperationGraph()
+        graph.add_resource(Resource("dma"))
+        graph.add_resource(Resource("matrix"))
+        graph.add_resource(Resource("simt"))
+        return graph
+
+    def test_diamond_join_waits_for_slowest_branch(self):
+        """   load
+             /    \\
+        compute   post     (different resources, run concurrently)
+             \\    /
+              store                                              """
+        graph = self._graph()
+        graph.add_operation("load", "dma", 100)
+        graph.add_operation("compute", "matrix", 300, deps=["load"])
+        graph.add_operation("post", "simt", 50, deps=["load"])
+        graph.add_operation("store", "dma", 10, deps=["compute", "post"])
+        result = graph.schedule()
+        # Branches overlap: post finishes at 150, compute at 400.
+        assert result.finish_time("post") == 150
+        assert result.finish_time("compute") == 400
+        assert result.scheduled["store"].start == 400
+        assert result.total_cycles == 410
+
+    def test_diamond_on_shared_resource_serializes_branches(self):
+        graph = self._graph()
+        graph.add_operation("load", "dma", 100)
+        graph.add_operation("branch_a", "matrix", 200, deps=["load"])
+        graph.add_operation("branch_b", "matrix", 200, deps=["load"])
+        graph.add_operation("join", "dma", 10, deps=["branch_a", "branch_b"])
+        result = graph.schedule()
+        # Same resource: the second branch queues behind the first.
+        assert result.total_cycles == 100 + 200 + 200 + 10
+
+    def test_nested_diamonds(self):
+        """Two diamonds chained back to back keep the dependency frontier right."""
+        graph = self._graph()
+        graph.add_operation("src", "dma", 10)
+        graph.add_operation("a1", "matrix", 100, deps=["src"])
+        graph.add_operation("b1", "simt", 150, deps=["src"])
+        graph.add_operation("mid", "dma", 10, deps=["a1", "b1"])
+        graph.add_operation("a2", "matrix", 120, deps=["mid"])
+        graph.add_operation("b2", "simt", 80, deps=["mid"])
+        graph.add_operation("sink", "dma", 10, deps=["a2", "b2"])
+        result = graph.schedule()
+        assert result.scheduled["mid"].start == 160  # max(110, 160)
+        assert result.scheduled["sink"].start == 170 + 120
+        assert result.total_cycles == 300
+
+    def test_diamond_busy_accounting(self):
+        graph = self._graph()
+        graph.add_operation("load", "dma", 40)
+        graph.add_operation("left", "matrix", 60, deps=["load"])
+        graph.add_operation("right", "simt", 90, deps=["load"])
+        graph.add_operation("join", "dma", 5, deps=["left", "right"])
+        result = graph.schedule()
+        assert result.resource_busy == {"dma": 45, "matrix": 60, "simt": 90}
+        kinds = result.critical_kind_cycles()
+        assert sum(kinds.values()) == 45 + 60 + 90
+
+
+class TestSchedulerRobustness:
+    def test_dependency_on_cancelled_style_zero_duration_ops(self):
+        """Zero-duration operations are legal joins (used by lowering stubs)."""
+        graph = OperationGraph()
+        graph.add_resource(Resource("simt"))
+        graph.add_operation("a", "simt", 0)
+        graph.add_operation("b", "simt", 25, deps=["a"])
+        result = graph.schedule()
+        assert result.finish_time("a") == 0
+        assert result.total_cycles == 25
+
+    def test_wide_fanout_single_resource_is_deterministic(self):
+        graph = OperationGraph()
+        graph.add_resource(Resource("matrix"))
+        graph.add_operation("root", "matrix", 10)
+        for index in range(8):
+            graph.add_operation(f"leaf{index}", "matrix", 5, deps=["root"])
+        result = graph.schedule()
+        starts = sorted(result.scheduled[f"leaf{index}"].start for index in range(8))
+        assert starts == [10 + 5 * index for index in range(8)]

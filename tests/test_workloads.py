@@ -1,0 +1,257 @@
+"""Tests for the model-workloads subsystem: IR, zoo, lowering, execution."""
+
+import json
+
+import pytest
+
+from repro.config.presets import DesignKind, make_design
+from repro.config.soc import DataType
+from repro.runner import run_flash_attention, run_gemm, to_json
+from repro.workloads import (
+    AttentionLayer,
+    ElementwiseLayer,
+    LayerGraph,
+    LinearLayer,
+    ModelSpec,
+    NormLayer,
+    TensorShape,
+    build_model,
+    lower_graph,
+    model_names,
+    resolve_spec,
+    run_model,
+    scaled_spec,
+)
+from repro.workloads.lowering import (
+    MATRIX_RESOURCE,
+    SIMT_RESOURCE,
+    SMALL_MATRIX_RESOURCE,
+    execute_schedule,
+)
+
+
+class TestLayerGraphIR:
+    def test_shape_inference_through_linear_chain(self):
+        graph = LayerGraph("chain", TensorShape(batch=2, seq=8, features=16))
+        graph.add(LinearLayer(name="fc1", in_features=16, out_features=32))
+        graph.add(LinearLayer(name="fc2", deps=("fc1",), in_features=32, out_features=4))
+        assert graph.output_shape("fc1") == TensorShape(2, 8, 32)
+        assert graph.output_shape("fc2") == TensorShape(2, 8, 4)
+
+    def test_linear_feature_mismatch_rejected(self):
+        graph = LayerGraph("bad", TensorShape(batch=1, seq=4, features=16))
+        with pytest.raises(ValueError, match="expects 8 input features"):
+            graph.add(LinearLayer(name="fc", in_features=8, out_features=8))
+
+    def test_dependency_must_exist(self):
+        graph = LayerGraph("bad", TensorShape(batch=1, seq=4, features=8))
+        with pytest.raises(ValueError, match="unknown layer"):
+            graph.add(LinearLayer(name="fc", deps=("ghost",), in_features=8, out_features=8))
+
+    def test_duplicate_layer_rejected(self):
+        graph = LayerGraph("dup", TensorShape(batch=1, seq=4, features=8))
+        graph.add(NormLayer(name="ln"))
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add(NormLayer(name="ln"))
+
+    def test_attention_shape_and_head_validation(self):
+        graph = LayerGraph("attn", TensorShape(batch=1, seq=64, features=128))
+        layer = AttentionLayer(name="attn", heads=2, head_dim=64)
+        graph.add(layer)
+        assert graph.output_shape("attn").features == 128
+        with pytest.raises(ValueError, match="divisible"):
+            AttentionLayer(name="bad", heads=3, head_dim=32, kv_heads=2)
+
+    def test_causal_halves_score_macs(self):
+        shape = TensorShape(batch=1, seq=64, features=128)
+        full = AttentionLayer(name="full", heads=2, head_dim=64, causal=False)
+        masked = AttentionLayer(name="masked", heads=2, head_dim=64, causal=True)
+        assert masked.score_macs(shape) == full.score_macs(shape) // 2
+
+    def test_elementwise_mismatched_inputs_rejected(self):
+        graph = LayerGraph("ew", TensorShape(batch=1, seq=4, features=8))
+        graph.add(LinearLayer(name="fc", in_features=8, out_features=16))
+        graph.add(NormLayer(name="ln"))
+        with pytest.raises(ValueError, match="mismatched"):
+            graph.add(ElementwiseLayer(name="add", deps=("fc", "ln")))
+
+    def test_total_macs_counts_linear_and_attention(self):
+        graph = LayerGraph("mix", TensorShape(batch=1, seq=64, features=128))
+        graph.add(LinearLayer(name="fc", in_features=128, out_features=128))
+        graph.add(AttentionLayer(name="attn", deps=("fc",), heads=2, head_dim=64))
+        expected = 64 * 128 * 128 + 2 * 2 * 64 * 64 * 64
+        assert graph.total_macs() == expected
+
+
+class TestModelZoo:
+    def test_zoo_names_resolve_and_build(self):
+        for name in model_names():
+            graph = build_model(name)
+            assert len(graph) > 0
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="gpt-prefill"):
+            resolve_spec("nope")
+
+    def test_gpt_prefill_vs_decode_shapes(self):
+        prefill = build_model("gpt-prefill")
+        decode = build_model("gpt-decode")
+        assert prefill.input_shape.seq == 256
+        assert decode.input_shape.seq == 1  # single-query decode step
+        attn = next(l for l in decode.layers() if l.name == "block0.attn")
+        assert attn.kv_seq == 1024  # attends over the KV cache
+
+    def test_gqa_shrinks_qkv_projection(self):
+        mha = resolve_spec("gpt-prefill")
+        gqa = resolve_spec("gpt-gqa-prefill")
+        assert gqa.qkv_features < mha.qkv_features
+        assert gqa.qkv_features == (8 + 2 * 2) * gqa.head_dim
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelSpec(hidden=100, heads=3)
+
+    def test_scaled_spec_override(self):
+        spec = scaled_spec(resolve_spec("gpt-prefill"), blocks=5)
+        assert spec.blocks == 5
+        assert spec.hidden == resolve_spec("gpt-prefill").hidden
+
+
+class TestLowering:
+    def test_schedule_is_dependency_ordered(self):
+        schedule = lower_graph(build_model("gpt-prefill"), DesignKind.VIRGO)
+        seen = set()
+        for invocation in schedule.invocations:
+            for dep in invocation.deps:
+                assert dep == "" or dep in seen
+            seen.add(invocation.name)
+
+    def test_fused_attention_on_virgo_and_ampere(self):
+        for kind in (DesignKind.VIRGO, DesignKind.AMPERE):
+            schedule = lower_graph(build_model("gpt-prefill"), kind)
+            kinds = {inv.kind for inv in schedule.invocations}
+            assert "flash" in kinds
+
+    def test_attention_decomposes_on_volta_and_hopper(self):
+        for kind in (DesignKind.VOLTA, DesignKind.HOPPER):
+            schedule = lower_graph(build_model("gpt-prefill"), kind)
+            kinds = {inv.kind for inv in schedule.invocations}
+            assert "flash" not in kinds
+            names = {inv.name for inv in schedule.invocations}
+            assert "block0.attn.scores" in names
+            assert "block0.attn.softmax" in names
+            assert "block0.attn.context" in names
+
+    def test_decode_attention_always_decomposes(self):
+        schedule = lower_graph(build_model("gpt-decode"), DesignKind.VIRGO)
+        kinds = {inv.kind for inv in schedule.invocations}
+        assert "flash" not in kinds
+
+    def test_causal_work_scale_applied(self):
+        schedule = lower_graph(build_model("gpt-prefill"), DesignKind.VIRGO)
+        flash = next(inv for inv in schedule.invocations if inv.kind == "flash")
+        assert flash.work_scale == 0.5
+
+    def test_zero_cost_layers_lower_to_nothing(self):
+        schedule = lower_graph(build_model("gpt-prefill"), DesignKind.VIRGO)
+        names = {inv.name for inv in schedule.invocations}
+        assert not any("qkv_split" in name for name in names)
+
+    def test_heterogeneous_requires_disaggregated(self):
+        with pytest.raises(ValueError, match="disaggregated"):
+            lower_graph(build_model("gpt-decode"), DesignKind.AMPERE, heterogeneous=True)
+
+    def test_heterogeneous_routes_small_gemms(self):
+        schedule = lower_graph(build_model("gpt-decode"), DesignKind.VIRGO, heterogeneous=True)
+        resources = {inv.resource for inv in schedule.invocations}
+        assert SMALL_MATRIX_RESOURCE in resources
+        assert schedule.small_design is not None
+        small = schedule.small_design.matrix_unit
+        full = schedule.design.matrix_unit
+        assert small.macs_per_cycle < full.macs_per_cycle
+
+
+class TestExecution:
+    def test_model_run_reports_per_layer_metrics(self):
+        result = run_model("gpt-prefill", DesignKind.VIRGO)
+        assert result.total_cycles > 0
+        assert result.layers  # one entry per costed layer
+        for layer in result.layers:
+            assert layer.cycles > 0
+            assert layer.energy_uj > 0
+            assert layer.end >= layer.start
+        gemm_layers = [l for l in result.layers if "gemm" in l.kinds]
+        assert all(l.mac_utilization_percent > 0 for l in gemm_layers)
+
+    def test_phase_aggregation(self):
+        result = run_model("gpt-prefill", DesignKind.VIRGO)
+        assert set(result.phase_cycles) == {"prefill"}
+        assert result.phase_cycles["prefill"] == sum(l.cycles for l in result.layers)
+
+    def test_virgo_beats_baseline_on_prefill(self):
+        virgo = run_model("gpt-prefill", DesignKind.VIRGO)
+        ampere = run_model("gpt-prefill", DesignKind.AMPERE)
+        assert virgo.total_cycles < ampere.total_cycles
+        assert virgo.active_energy_uj < ampere.active_energy_uj
+
+    def test_decode_utilization_collapses(self):
+        prefill = run_model("gpt-prefill", DesignKind.VIRGO)
+        decode = run_model("gpt-decode", DesignKind.VIRGO)
+        assert decode.mac_utilization < prefill.mac_utilization / 2
+
+    def test_all_designs_execute_all_models(self):
+        spec = scaled_spec(resolve_spec("gpt-prefill"), blocks=1, seq_len=64, hidden=128)
+        for kind in DesignKind:
+            result = run_model(spec, kind)
+            assert result.total_cycles > 0
+
+    def test_schedule_overlap_never_exceeds_serial_sum(self):
+        schedule = lower_graph(build_model("mlp-chain"), DesignKind.VIRGO)
+        result = execute_schedule(schedule)
+        serial = sum(layer.cycles for layer in result.layers)
+        assert result.total_cycles <= serial
+
+    def test_heterogeneous_execution_populates_small_resource(self):
+        result = run_model("gpt-decode", DesignKind.VIRGO, heterogeneous=True)
+        assert result.heterogeneous
+        assert result.resource_busy.get(SMALL_MATRIX_RESOURCE, 0) > 0
+
+    def test_model_result_to_dict_round_trips_json(self):
+        result = run_model("mlp-chain", DesignKind.VIRGO)
+        encoded = json.dumps(result.to_dict(), sort_keys=True)
+        decoded = json.loads(encoded)
+        assert decoded["total_cycles"] == result.total_cycles
+        assert len(decoded["layers"]) == len(result.layers)
+
+    def test_counters_feed_power_report(self):
+        result = run_model("mlp-chain", DesignKind.VIRGO)
+        assert result.active_power_mw > 0
+        assert result.power.cycles == result.total_cycles
+
+
+class TestRunnerSerializationHelpers:
+    def test_gemm_run_result_to_dict(self):
+        run = run_gemm(DesignKind.VIRGO, 256)
+        encoded = run.to_dict()
+        assert encoded["kind"] == "gemm"
+        assert encoded["design"] == "Virgo"
+        assert encoded["total_cycles"] == run.total_cycles
+        json.dumps(encoded)
+
+    def test_flash_run_result_to_dict(self):
+        run = run_flash_attention(DesignKind.VIRGO)
+        encoded = run.to_dict()
+        assert encoded["kind"] == "flash_attention"
+        assert encoded["seq_len"] == 1024
+        json.dumps(encoded)
+
+    def test_to_json_helper_is_canonical(self):
+        run = run_gemm(DesignKind.VOLTA, 256)
+        text = to_json(run)
+        assert json.loads(text) == json.loads(to_json(run))
+        assert json.loads(text)["design"] == "Volta-style"
+
+    def test_model_resources_used(self):
+        result = run_model("gpt-prefill", DesignKind.VIRGO)
+        assert result.resource_busy[MATRIX_RESOURCE] > 0
+        assert result.resource_busy[SIMT_RESOURCE] > 0
