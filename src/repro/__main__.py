@@ -44,6 +44,7 @@ from repro.analysis.model_breakdown import (
 )
 from repro.config.presets import DesignKind
 from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heterogeneous
+from repro.perf import timing_cache
 from repro.runner import run_flash_attention, run_gemm
 from repro.workloads import model_names, resolve_spec, run_batch, run_model, sweep_jobs
 
@@ -207,6 +208,11 @@ def _cmd_model(args: argparse.Namespace) -> None:
     headers, rows = compare_models([result])
     print()
     print(format_table(headers, rows))
+    stats = result.timing_cache
+    print(
+        f"\ntiming cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses "
+        f"({len(timing_cache())} entries in process)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

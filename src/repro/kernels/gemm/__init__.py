@@ -67,13 +67,19 @@ def simulate_gemm(
     design: Union[DesignKind, DesignConfig],
     size: Union[int, GemmWorkload],
     dtype: DataType = DataType.FP16,
+    full_expansion: bool = False,
 ) -> GemmKernelResult:
-    """Simulate a square (or explicit) GEMM on one design and return the result."""
+    """Simulate a square (or explicit) GEMM on one design and return the result.
+
+    ``full_expansion=True`` materializes every tile operation on the
+    operation graph instead of using steady-state schedule compression; the
+    two paths produce bit-identical results and differ only in cost.
+    """
     if isinstance(design, DesignKind):
         design = make_design(design, dtype)
     workload = size if isinstance(size, GemmWorkload) else GemmWorkload.square(size, dtype)
     kernel = kernel_for_design(design)
-    return kernel.simulate(workload)
+    return kernel.simulate(workload, full_expansion=full_expansion)
 
 
 def simulate_gemm_suite(

@@ -63,6 +63,12 @@ class GemmKernelResult:
     retired_instructions: int = 0
     iteration_cycles: int = 0
     phase_cycles: Dict[str, int] = field(default_factory=dict)
+    #: Busy cycles per scheduler resource ("matrix"/"compute", "dma").
+    resource_busy: Dict[str, int] = field(default_factory=dict)
+    #: Operation-graph size bookkeeping from the schedule executor:
+    #: ``executed_operations`` (materialized), ``extrapolated_operations``
+    #: (covered by steady-state compression) and their ``operation_count``.
+    schedule_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mac_utilization(self) -> float:

@@ -19,12 +19,11 @@ from __future__ import annotations
 from repro.config.soc import DesignConfig, IntegrationStyle
 from repro.kernels.gemm.base import GemmKernelResult, GemmWorkload, ideal_mac_cycles
 from repro.kernels.gemm.instruction_streams import hopper_iteration_streams
+from repro.kernels.gemm.schedule_loops import GemmLoopSpec, execute_gemm_loop
 from repro.kernels.gemm.tiling import ThreadBlockTiling, tiling_for_design
 from repro.memory.dma import DmaEngine
 from repro.memory.dram import DramChannel
-from repro.sim.resources import Resource
 from repro.sim.stats import Counters
-from repro.sim.taskgraph import OperationGraph
 from repro.simt.core import VortexCore
 from repro.tensorcore.hopper import HopperTensorCore
 
@@ -123,52 +122,32 @@ class OperandDecoupledGemmKernel:
     # Whole-kernel simulation
     # ------------------------------------------------------------------ #
 
-    def simulate(self, workload: GemmWorkload) -> GemmKernelResult:
+    def simulate(self, workload: GemmWorkload, full_expansion: bool = False) -> GemmKernelResult:
         tiling = tiling_for_design(self.design, workload)
         streams, compute_cycles, dma_cycles, iter_counters, iter_instructions = self._iteration(
             tiling
         )
         epilogue_cycles, epilogue_counters, epilogue_instructions = self._epilogue(tiling)
 
-        graph = OperationGraph()
-        graph.add_resource(Resource("compute"))
-        graph.add_resource(Resource("dma"))
-
-        compute_history = []
-        previous_compute = None
         # Each cluster works on its share of the (M, N) output tiles; the
-        # slowest cluster's schedule determines the kernel runtime.
-        cluster_tiles = tiling.output_tiles_per_cluster(self.design.soc.clusters)
-        for tile in range(cluster_tiles):
-            for k in range(tiling.k_iterations):
-                load_name = f"load.t{tile}.k{k}"
-                # Double buffering: fetch ahead while the compute two
-                # iterations back still occupies the other buffer half.  The
-                # first load of a new output tile cannot be prefetched -- its
-                # panel addresses are only programmed after the previous
-                # tile's epilogue (accumulator store) has retired.
-                if k == 0 and previous_compute is not None:
-                    load_deps = [previous_compute]
-                else:
-                    load_deps = [compute_history[-2]] if len(compute_history) >= 2 else []
-                graph.add_operation(load_name, "dma", dma_cycles, deps=load_deps, kind="dma")
-                deps = [load_name]
-                if previous_compute:
-                    deps.append(previous_compute)
-                name = f"compute.t{tile}.k{k}"
-                graph.add_operation(name, "compute", compute_cycles, deps=deps, kind="compute")
-                previous_compute = name
-                compute_history.append(name)
-            graph.add_operation(
-                f"store.t{tile}",
-                "compute",
-                epilogue_cycles,
-                deps=[previous_compute],
-                kind="epilogue",
-            )
-            previous_compute = f"store.t{tile}"
+        # slowest cluster's schedule determines the kernel runtime.  Loads
+        # double buffer (fetch while the compute two iterations back still
+        # occupies the other buffer half); the first load of a new output
+        # tile cannot be prefetched -- its panel addresses are only
+        # programmed after the previous tile's epilogue has retired.
+        spec = GemmLoopSpec(
+            cluster_tiles=tiling.output_tiles_per_cluster(self.design.soc.clusters),
+            k_iterations=tiling.k_iterations,
+            compute_resource="compute",
+            compute_cycles=compute_cycles,
+            load_cycles=dma_cycles,
+            epilogue_cycles=epilogue_cycles,
+            epilogue_resource="compute",
+            double_buffer_deps=True,
+            epilogue_advances_chain=True,
+        )
+        schedule = execute_gemm_loop(spec, full_expansion=full_expansion)
 
-        schedule = graph.schedule()
         iterations = tiling.total_iterations
         counters = iter_counters.scaled(iterations)
         counters.merge(epilogue_counters.scaled(tiling.output_tiles))
@@ -182,5 +161,7 @@ class OperandDecoupledGemmKernel:
             counters=counters,
             retired_instructions=instructions,
             iteration_cycles=compute_cycles,
-            phase_cycles=schedule.critical_kind_cycles(),
+            phase_cycles=schedule.kind_cycles,
+            resource_busy=schedule.resource_busy,
+            schedule_stats=schedule.stats(),
         )

@@ -1,0 +1,228 @@
+"""Shared tile-loop scheduling for the per-design GEMM kernel builders.
+
+All three GEMM timing models walk the same loop nest -- output tiles, a K
+loop inside each tile, an epilogue per tile -- and differ only in which
+resources the operations occupy, their durations, and how double buffering
+wires the load dependencies.  :class:`GemmLoopSpec` captures those knobs;
+:func:`execute_gemm_loop` turns a spec into the scheduled totals either by
+
+* **steady-state compression** (the default): the loop nest runs on
+  :class:`repro.sim.steady_state.SteadyStateEngine`, which executes warm-up
+  plus one steady-state period concretely and extrapolates the rest, making
+  the cost independent of ``cluster_tiles x k_iterations``; or
+* **full expansion** (``full_expansion=True``): the historical behaviour --
+  every operation is materialized on an
+  :class:`repro.sim.taskgraph.OperationGraph` and list-scheduled.
+
+Both paths use the identical start-time arithmetic, so their results are
+bit-identical; the equivalence is enforced by ``tests/test_schedule_compression.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.resources import Resource
+from repro.sim.steady_state import LoopStep, SteadyStateEngine
+from repro.sim.taskgraph import OperationGraph
+
+__all__ = ["GemmLoopSpec", "GemmLoopSchedule", "execute_gemm_loop"]
+
+#: Anchor names used by the compressed executor.
+_CHAIN = "chain"  # the serializing dependency chain (previous compute / store)
+_LOAD = "load"  # the most recent load's end time
+_HIST1 = "hist1"  # most recent compute end (compute history, not stores)
+_HIST2 = "hist2"  # second-most-recent compute end
+
+
+@dataclass(frozen=True)
+class GemmLoopSpec:
+    """Loop structure and per-operation costs of one tiled GEMM schedule."""
+
+    cluster_tiles: int
+    k_iterations: int
+    compute_resource: str
+    compute_cycles: int
+    epilogue_cycles: int
+    epilogue_resource: str
+    load_cycles: Optional[int] = None  # None = no explicit load operations
+    load_resource: str = "dma"
+    #: Loads of iteration k > 0 wait for the compute two iterations back
+    #: (register/shared-memory double buffering on the core-coupled designs).
+    double_buffer_deps: bool = False
+    #: The epilogue joins the serializing chain (the next tile's first load
+    #: and compute wait for it), as on the designs that store from the
+    #: register file.
+    epilogue_advances_chain: bool = False
+    first_compute_ready: int = 0
+
+
+@dataclass
+class GemmLoopSchedule:
+    """Scheduled totals of one GEMM loop nest."""
+
+    total_cycles: int
+    kind_cycles: Dict[str, int]
+    resource_busy: Dict[str, int]
+    executed_operations: int
+    extrapolated_operations: int = 0
+
+    @property
+    def operation_count(self) -> int:
+        return self.executed_operations + self.extrapolated_operations
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "executed_operations": self.executed_operations,
+            "extrapolated_operations": self.extrapolated_operations,
+            "operation_count": self.operation_count,
+        }
+
+
+def execute_gemm_loop(spec: GemmLoopSpec, full_expansion: bool = False) -> GemmLoopSchedule:
+    """Schedule the loop nest described by ``spec``."""
+    if full_expansion:
+        return _execute_expanded(spec)
+    return _execute_compressed(spec)
+
+
+# --------------------------------------------------------------------------- #
+# Full expansion: one graph node per operation (the historical path)
+# --------------------------------------------------------------------------- #
+
+
+def _execute_expanded(spec: GemmLoopSpec) -> GemmLoopSchedule:
+    graph = OperationGraph()
+    graph.add_resource(Resource(spec.compute_resource))
+    graph.add_resource(Resource(spec.load_resource))
+
+    previous: Optional[str] = None
+    history: List[str] = []
+    for tile in range(spec.cluster_tiles):
+        for k in range(spec.k_iterations):
+            deps: List[str] = []
+            if spec.load_cycles is not None:
+                load_name = f"load.t{tile}.k{k}"
+                if k == 0 and previous is not None:
+                    load_deps = [previous]
+                elif spec.double_buffer_deps and len(history) >= 2:
+                    load_deps = [history[-2]]
+                else:
+                    load_deps = []
+                graph.add_operation(
+                    load_name, spec.load_resource, spec.load_cycles, deps=load_deps, kind="dma"
+                )
+                deps.append(load_name)
+            name = f"compute.t{tile}.k{k}"
+            if previous:
+                deps.append(previous)
+            ready = spec.first_compute_ready if (tile == 0 and k == 0) else 0
+            graph.add_operation(
+                name, spec.compute_resource, spec.compute_cycles, deps=deps,
+                ready_after=ready, kind="compute",
+            )
+            previous = name
+            history.append(name)
+        store_name = f"store.t{tile}"
+        graph.add_operation(
+            store_name, spec.epilogue_resource, spec.epilogue_cycles,
+            deps=[previous], kind="epilogue",
+        )
+        if spec.epilogue_advances_chain:
+            previous = store_name
+
+    schedule = graph.schedule()
+    return GemmLoopSchedule(
+        total_cycles=schedule.total_cycles,
+        kind_cycles=schedule.critical_kind_cycles(),
+        resource_busy=dict(schedule.resource_busy),
+        executed_operations=len(graph),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Steady-state compression
+# --------------------------------------------------------------------------- #
+
+
+def _load_step(spec: GemmLoopSpec, first_k: bool) -> LoopStep:
+    if first_k:
+        deps = (_CHAIN,)
+    elif spec.double_buffer_deps:
+        deps = (_HIST2,)
+    else:
+        deps = ()
+    return LoopStep(
+        resource=spec.load_resource,
+        duration=spec.load_cycles or 0,
+        kind="dma",
+        deps=deps,
+        sets=(_LOAD,),
+    )
+
+
+def _compute_step(spec: GemmLoopSpec, ready_after: int = 0) -> LoopStep:
+    deps = ((_LOAD,) if spec.load_cycles is not None else ()) + (_CHAIN,)
+    if spec.double_buffer_deps:
+        return LoopStep(
+            resource=spec.compute_resource,
+            duration=spec.compute_cycles,
+            kind="compute",
+            deps=deps,
+            shifts=((_HIST2, _HIST1),),
+            sets=(_HIST1, _CHAIN),
+            ready_after=ready_after,
+        )
+    return LoopStep(
+        resource=spec.compute_resource,
+        duration=spec.compute_cycles,
+        kind="compute",
+        deps=deps,
+        sets=(_CHAIN,),
+        ready_after=ready_after,
+    )
+
+
+def _execute_compressed(spec: GemmLoopSpec) -> GemmLoopSchedule:
+    has_loads = spec.load_cycles is not None
+    engine = SteadyStateEngine()
+    engine.add_resource(spec.compute_resource)
+    # Only register resources the loop actually occupies: an always-idle
+    # component would sit at a zero delta and defeat the outer loop's
+    # uniform-shift detection.
+    if has_loads or spec.epilogue_resource == spec.load_resource:
+        engine.add_resource(spec.load_resource)
+    steady_body = ([_load_step(spec, first_k=False)] if has_loads else []) + [_compute_step(spec)]
+    epilogue = LoopStep(
+        resource=spec.epilogue_resource,
+        duration=spec.epilogue_cycles,
+        kind="epilogue",
+        deps=(_CHAIN,),
+        sets=(_CHAIN,) if spec.epilogue_advances_chain else (),
+    )
+
+    def tile_body(first_compute_ready: int = 0) -> None:
+        if has_loads:
+            engine.execute(_load_step(spec, first_k=True))
+        engine.execute(_compute_step(spec, ready_after=first_compute_ready))
+        if spec.k_iterations > 1:
+            engine.run_loop(steady_body, spec.k_iterations - 1)
+        engine.execute(epilogue)
+
+    # The first tile carries the warm-up irregularities (missing chain and
+    # history anchors, the prologue ready time); later tiles are identical
+    # and compress through the outer-loop shift detection.
+    tile_body(first_compute_ready=spec.first_compute_ready)
+    if spec.cluster_tiles > 1:
+        engine.run_outer(tile_body, spec.cluster_tiles - 1)
+
+    resource_busy = dict(engine.busy)
+    resource_busy.setdefault(spec.load_resource, 0)  # mirror the expanded graph
+    return GemmLoopSchedule(
+        total_cycles=engine.makespan,
+        kind_cycles=dict(engine.kind_cycles),
+        resource_busy=resource_busy,
+        executed_operations=engine.executed_operations,
+        extrapolated_operations=engine.extrapolated_operations,
+    )

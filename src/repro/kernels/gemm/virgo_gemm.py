@@ -18,13 +18,12 @@ from __future__ import annotations
 from repro.config.soc import DesignConfig, IntegrationStyle
 from repro.kernels.gemm.base import GemmKernelResult, GemmWorkload, ideal_mac_cycles
 from repro.kernels.gemm.instruction_streams import virgo_iteration_streams
+from repro.kernels.gemm.schedule_loops import GemmLoopSpec, execute_gemm_loop
 from repro.kernels.gemm.tiling import ThreadBlockTiling, tiling_for_design
 from repro.core.gemmini import GemminiMatrixUnit
 from repro.memory.dma import DmaEngine
 from repro.memory.dram import DramChannel
-from repro.sim.resources import Resource
 from repro.sim.stats import Counters
-from repro.sim.taskgraph import OperationGraph
 from repro.simt.core import VortexCore
 
 
@@ -136,47 +135,29 @@ class VirgoGemmKernel:
     # Whole-kernel simulation
     # ------------------------------------------------------------------ #
 
-    def simulate(self, workload: GemmWorkload) -> GemmKernelResult:
+    def simulate(self, workload: GemmWorkload, full_expansion: bool = False) -> GemmKernelResult:
         tiling = tiling_for_design(self.design, workload)
         streams, compute_cycles, dma_cycles, iter_counters, iter_instructions = self._iteration(
             tiling
         )
         epilogue_cycles, epilogue_counters, epilogue_instructions = self._epilogue(tiling)
 
-        graph = OperationGraph()
-        graph.add_resource(Resource("matrix"))
-        graph.add_resource(Resource("dma"))
-
-        previous_compute = None
         # Each cluster works on its share of the (M, N) output tiles; the
-        # slowest cluster's schedule determines the kernel runtime.
-        cluster_tiles = tiling.output_tiles_per_cluster(self.design.soc.clusters)
-        for tile in range(cluster_tiles):
-            for k in range(tiling.k_iterations):
-                load_name = f"load.t{tile}.k{k}"
-                # Double buffering: the load for iteration k may start as soon
-                # as the compute of iteration k-2 has freed its buffer half.
-                load_deps = []
-                if previous_compute is not None and k == 0:
-                    load_deps = [previous_compute]
-                graph.add_operation(load_name, "dma", dma_cycles, deps=load_deps, kind="dma")
-                deps = [load_name]
-                if previous_compute:
-                    deps.append(previous_compute)
-                name = f"compute.t{tile}.k{k}"
-                graph.add_operation(name, "matrix", compute_cycles, deps=deps, kind="compute")
-                previous_compute = name
-            graph.add_operation(
-                f"store.t{tile}",
-                "dma",
-                epilogue_cycles,
-                deps=[previous_compute],
-                kind="epilogue",
-            )
-            # The next output tile's compute need not wait for the store (it
-            # writes a different accumulator half), so previous_compute stays.
+        # slowest cluster's schedule determines the kernel runtime.  The load
+        # of each tile's first K step waits for the previous compute (buffer
+        # reuse); the epilogue drains on the DMA without blocking the next
+        # tile's compute (it writes a different accumulator half).
+        spec = GemmLoopSpec(
+            cluster_tiles=tiling.output_tiles_per_cluster(self.design.soc.clusters),
+            k_iterations=tiling.k_iterations,
+            compute_resource="matrix",
+            compute_cycles=compute_cycles,
+            load_cycles=dma_cycles,
+            epilogue_cycles=epilogue_cycles,
+            epilogue_resource="dma",
+        )
+        schedule = execute_gemm_loop(spec, full_expansion=full_expansion)
 
-        schedule = graph.schedule()
         iterations = tiling.total_iterations
         counters = iter_counters.scaled(iterations)
         counters.merge(epilogue_counters.scaled(tiling.output_tiles))
@@ -190,5 +171,7 @@ class VirgoGemmKernel:
             counters=counters,
             retired_instructions=instructions,
             iteration_cycles=compute_cycles,
-            phase_cycles=schedule.critical_kind_cycles(),
+            phase_cycles=schedule.kind_cycles,
+            resource_busy=schedule.resource_busy,
+            schedule_stats=schedule.stats(),
         )

@@ -24,12 +24,11 @@ from __future__ import annotations
 from repro.config.soc import DesignConfig, IntegrationStyle
 from repro.kernels.gemm.base import GemmKernelResult, GemmWorkload, ideal_mac_cycles
 from repro.kernels.gemm.instruction_streams import volta_iteration_streams
+from repro.kernels.gemm.schedule_loops import GemmLoopSpec, execute_gemm_loop
 from repro.kernels.gemm.tiling import ThreadBlockTiling, tiling_for_design
 from repro.memory.dma import DmaEngine, DmaDirection
 from repro.memory.dram import DramChannel
-from repro.sim.resources import Resource
 from repro.sim.stats import Counters
-from repro.sim.taskgraph import OperationGraph
 from repro.simt.core import VortexCore
 from repro.tensorcore.volta import VoltaTensorCore
 
@@ -150,7 +149,7 @@ class TightlyCoupledGemmKernel:
     # Whole-kernel simulation
     # ------------------------------------------------------------------ #
 
-    def simulate(self, workload: GemmWorkload) -> GemmKernelResult:
+    def simulate(self, workload: GemmWorkload, full_expansion: bool = False) -> GemmKernelResult:
         tiling = tiling_for_design(self.design, workload)
         (
             streams,
@@ -162,64 +161,29 @@ class TightlyCoupledGemmKernel:
         ) = self._iteration(tiling)
         epilogue_cycles, epilogue_counters, epilogue_instructions = self._epilogue(tiling)
 
-        graph = OperationGraph()
-        graph.add_resource(Resource("compute"))
-        graph.add_resource(Resource("dma"))
-
         prologue = self._dma_cycles(tiling.input_bytes_per_iteration) if self.has_dma else max(
             dram_cycles, compute_cycles // 4
         )
-        compute_history = []
-        previous_compute = None
         # Each cluster works on its share of the (M, N) output tiles; the
-        # slowest cluster's schedule determines the kernel runtime.
-        cluster_tiles = tiling.output_tiles_per_cluster(self.design.soc.clusters)
-        for tile in range(cluster_tiles):
-            for k in range(tiling.k_iterations):
-                deps = []
-                if self.has_dma:
-                    load_name = f"load.t{tile}.k{k}"
-                    # Double buffering: the DMA may fetch the tiles for this
-                    # iteration as soon as the compute two iterations back has
-                    # freed the other buffer half.  The first load of a new
-                    # output tile waits for the previous tile's epilogue.
-                    if k == 0 and previous_compute is not None:
-                        load_deps = [previous_compute]
-                    else:
-                        load_deps = [compute_history[-2]] if len(compute_history) >= 2 else []
-                    graph.add_operation(
-                        load_name,
-                        "dma",
-                        max(dma_cycles, dram_cycles),
-                        deps=load_deps,
-                        kind="dma",
-                    )
-                    deps.append(load_name)
-                name = f"compute.t{tile}.k{k}"
-                if self.has_dma:
-                    duration = compute_cycles
-                else:
-                    # Without a DMA the same warps copy the next tile and the
-                    # inter-iteration barrier exposes the global-memory
-                    # streaming time that asynchronous copies would hide.
-                    duration = compute_cycles + dram_cycles
-                ready = prologue if (tile == 0 and k == 0) else 0
-                if previous_compute:
-                    deps.append(previous_compute)
-                graph.add_operation(name, "compute", duration, deps=deps, ready_after=ready, kind="compute")
-                previous_compute = name
-                compute_history.append(name)
-            graph.add_operation(
-                f"store.t{tile}",
-                "compute",
-                epilogue_cycles,
-                deps=[previous_compute],
-                kind="epilogue",
-            )
-            previous_compute = f"store.t{tile}"
-
-        schedule = graph.schedule()
-        total_cycles = schedule.total_cycles
+        # slowest cluster's schedule determines the kernel runtime.  With a
+        # DMA, the loads double buffer (fetch while the compute two
+        # iterations back still runs) and the first load of a new output
+        # tile waits for the previous tile's epilogue; without one the same
+        # warps copy the next tile, so the inter-iteration barrier exposes
+        # the global-memory streaming time inside the compute duration.
+        spec = GemmLoopSpec(
+            cluster_tiles=tiling.output_tiles_per_cluster(self.design.soc.clusters),
+            k_iterations=tiling.k_iterations,
+            compute_resource="compute",
+            compute_cycles=compute_cycles if self.has_dma else compute_cycles + dram_cycles,
+            load_cycles=max(dma_cycles, dram_cycles) if self.has_dma else None,
+            epilogue_cycles=epilogue_cycles,
+            epilogue_resource="compute",
+            double_buffer_deps=True,
+            epilogue_advances_chain=True,
+            first_compute_ready=prologue,
+        )
+        schedule = execute_gemm_loop(spec, full_expansion=full_expansion)
 
         iterations = tiling.total_iterations
         counters = iter_counters.scaled(iterations)
@@ -229,10 +193,12 @@ class TightlyCoupledGemmKernel:
         return GemmKernelResult(
             design=self.design,
             workload=workload,
-            total_cycles=total_cycles,
+            total_cycles=schedule.total_cycles,
             ideal_mac_cycles=ideal_mac_cycles(self.design, workload),
             counters=counters,
             retired_instructions=instructions,
             iteration_cycles=compute_cycles,
-            phase_cycles=schedule.critical_kind_cycles(),
+            phase_cycles=schedule.kind_cycles,
+            resource_busy=schedule.resource_busy,
+            schedule_stats=schedule.stats(),
         )

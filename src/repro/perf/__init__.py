@@ -1,0 +1,69 @@
+"""In-process memoization of kernel timing results (the *timing cache*).
+
+Model workloads re-simulate the same kernel shapes over and over: every
+transformer block of a GPT lowers to the same handful of GEMM / attention /
+SIMT shapes, so a 24-layer model needs ~3 distinct kernel simulations, not
+~75.  This subsystem makes that reuse automatic: the runner entry points
+(:func:`repro.runner.run_gemm`, :func:`repro.runner.run_flash_attention`)
+and the SIMT cost model in :mod:`repro.workloads.lowering` consult a
+process-wide :class:`TimingCache` before simulating, and publish their
+results into it afterwards.
+
+Cache-key contract
+------------------
+An entry is keyed by a SHA-256 over the canonical JSON encoding of:
+
+* ``SCHEMA_VERSION`` -- bump it whenever a timing model changes behaviour,
+  so snapshots from older code can never satisfy newer lookups;
+* the kernel *kind* (``"gemm"``, ``"flash"``, ``"simt"``, ...);
+* the **full design configuration content** -- every field of the
+  :class:`~repro.config.soc.DesignConfig` tree, via
+  :func:`canonical_value`, so any hardware parameter change (bank counts,
+  MAC widths, clock, DMA, ...) transparently invalidates exactly the
+  affected entries;
+* the workload content: all fields of the workload dataclass (including
+  its dtype) for GEMM and FlashAttention, or ``elements`` and
+  ``flops_per_element`` for SIMT kernels.
+
+Nothing else may influence a timing result; if a new input does, it must be
+folded into the key (that is the invalidation rule).  Entries live for the
+process lifetime, are never persisted, and are returned **by reference** --
+treat cached result objects and their counters as immutable.
+
+Registering a new kernel kind
+-----------------------------
+A new timing model opts in by wrapping its entry point::
+
+    cache = timing_cache()
+    key = cache.key("mykernel", design, {"field": value, ...})
+    return cache.get_or_compute(key, lambda: simulate_mykernel(...))
+
+where the payload dict contains every workload parameter the result depends
+on.  ``canonical_value`` handles dataclasses and enums, so passing the
+workload object itself is usually enough.
+
+Worker seeding
+--------------
+The batch runner (:mod:`repro.workloads.batch`) serializes a
+:meth:`TimingCache.snapshot` of the parent's warm cache into each process
+pool worker via the executor initializer, so sweeps start warm instead of
+re-simulating shared shapes per worker.
+"""
+
+from repro.perf.cache import (
+    SCHEMA_VERSION,
+    TimingCache,
+    cache_disabled,
+    canonical_value,
+    design_fingerprint,
+    timing_cache,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TimingCache",
+    "cache_disabled",
+    "canonical_value",
+    "design_fingerprint",
+    "timing_cache",
+]

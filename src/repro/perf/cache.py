@@ -1,0 +1,169 @@
+"""The in-process timing cache: content-hashed memoization of kernel timings.
+
+See the :mod:`repro.perf` package docstring for the cache-key contract and
+usage guidance.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import fields, is_dataclass
+from functools import lru_cache
+from typing import Any, Callable, Dict, Iterator, Mapping, TypeVar
+
+from repro.config.soc import DesignConfig
+
+#: Bump when a timing model changes shape, so stale entries can never be
+#: confused with fresh ones (relevant when snapshots cross process borders).
+SCHEMA_VERSION = 1
+
+T = TypeVar("T")
+
+
+def canonical_value(value: Any) -> Any:
+    """Encode ``value`` into plain JSON-serializable data, deterministically.
+
+    Dataclasses map to ``{field: value}`` dicts, enums to their ``value``;
+    containers are converted recursively.  This is the normalization the
+    cache key is computed over, so anything that changes the canonical form
+    changes the key.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: canonical_value(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {str(key): canonical_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    return value
+
+
+@lru_cache(maxsize=None)
+def design_fingerprint(design: DesignConfig) -> str:
+    """Content hash over every field of a design configuration tree.
+
+    Memoized on the (frozen, hashable) config object so repeated kernels on
+    the same design pay the canonicalization cost once.
+    """
+    canonical = json.dumps(canonical_value(design), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _derive_key(kind: str, design: DesignConfig, payload_items: tuple) -> str:
+    canonical = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "design": design_fingerprint(design),
+            "payload": canonical_value(dict(payload_items)),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_derive_key_cached = lru_cache(maxsize=65536)(_derive_key)
+
+
+class TimingCache:
+    """A process-local map from kernel-content keys to timing results.
+
+    Entries are shared objects: callers must treat cached results (and the
+    :class:`~repro.sim.stats.Counters` inside them) as immutable.  The cache
+    is thread-safe; hit/miss counters are cumulative for the process and can
+    be sampled around a region to attribute activity to it.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def key(self, kind: str, design: DesignConfig, payload: Mapping[str, Any]) -> str:
+        """Content hash identifying one kernel invocation's result.
+
+        Key derivation is pure, so for hashable payloads (frozen workload
+        dataclasses, scalars) the digest itself is memoized -- on a warm
+        cache the lookup cost is a hash probe, not a JSON round-trip.
+        """
+        try:
+            return _derive_key_cached(kind, design, tuple(sorted(payload.items())))
+        except TypeError:  # unhashable payload value: derive without memoizing
+            return _derive_key(kind, design, tuple(sorted(payload.items())))
+
+    def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
+        """Return the cached result for ``key``, computing and storing on miss."""
+        if not self.enabled:
+            return compute()
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key]
+        # Compute outside the lock: kernel simulations are pure, so a rare
+        # duplicate computation is cheaper than serializing all of them.
+        # Whoever stores first wins; losers return the stored entry so one
+        # shared object circulates per key.
+        result = compute()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing
+            self._entries[key] = result
+            self.misses += 1
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable copy of the entries, for seeding worker processes."""
+        with self._lock:
+            return dict(self._entries)
+
+    def load(self, entries: Mapping[str, Any]) -> None:
+        """Merge ``entries`` (typically a :meth:`snapshot`) into the cache."""
+        with self._lock:
+            for key, value in entries.items():
+                self._entries.setdefault(key, value)
+
+
+_GLOBAL_CACHE = TimingCache()
+
+
+def timing_cache() -> TimingCache:
+    """The process-wide timing cache used by the runner entry points."""
+    return _GLOBAL_CACHE
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Temporarily bypass the global cache (cold-path measurement, tests)."""
+    cache = timing_cache()
+    previous = cache.enabled
+    cache.enabled = False
+    try:
+        yield
+    finally:
+        cache.enabled = previous

@@ -28,6 +28,7 @@ from repro.kernels.flash_attention import (
     simulate_flash_attention,
 )
 from repro.kernels.gemm import GemmKernelResult, GemmWorkload, simulate_gemm
+from repro.perf import timing_cache
 from repro.sim.stats import Counters
 
 
@@ -162,14 +163,25 @@ def run_gemm(
     size: Union[int, GemmWorkload],
     dtype: DataType = DataType.FP16,
 ) -> GemmRunResult:
-    """Simulate a GEMM and compute its power/energy on one design."""
+    """Simulate a GEMM and compute its power/energy on one design.
+
+    Results are memoized in the process-wide timing cache (:mod:`repro.perf`)
+    keyed by the design and workload content; repeated invocations of the
+    same shape return the same (shared, treat-as-immutable) result object.
+    """
     config = _resolve(design, dtype)
-    kernel_result = simulate_gemm(config, size, dtype)
-    table = EnergyTable.for_design(config.style)
-    power = make_power_report(
-        config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
-    )
-    return GemmRunResult(design=config, kernel=kernel_result, power=power)
+    workload = size if isinstance(size, GemmWorkload) else GemmWorkload.square(size, dtype)
+
+    def compute() -> GemmRunResult:
+        kernel_result = simulate_gemm(config, workload, dtype)
+        table = EnergyTable.for_design(config.style)
+        power = make_power_report(
+            config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
+        )
+        return GemmRunResult(design=config, kernel=kernel_result, power=power)
+
+    cache = timing_cache()
+    return cache.get_or_compute(cache.key("gemm", config, {"workload": workload}), compute)
 
 
 def run_all_gemm_designs(
@@ -186,16 +198,21 @@ def run_flash_attention(
     design: Union[DesignKind, DesignConfig],
     workload: FlashAttentionWorkload | None = None,
 ) -> FlashAttentionRunResult:
-    """Simulate FlashAttention-3 and compute power/energy (Virgo or Ampere-style)."""
+    """Simulate FlashAttention-3 and compute power/energy (Virgo or Ampere-style).
+
+    Results are memoized in the process-wide timing cache (:mod:`repro.perf`);
+    see :func:`run_gemm`.
+    """
     workload = workload or FlashAttentionWorkload()
-    if isinstance(design, DesignKind):
-        config = make_design(design, DataType.FP32)
-    else:
-        config = design
-    kernel_result = simulate_flash_attention(design, workload)
-    config = kernel_result.design
-    table = EnergyTable.for_design(config.style)
-    power = make_power_report(
-        config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
-    )
-    return FlashAttentionRunResult(design=config, kernel=kernel_result, power=power)
+    config = make_design(design, DataType.FP32) if isinstance(design, DesignKind) else design
+
+    def compute() -> FlashAttentionRunResult:
+        kernel_result = simulate_flash_attention(config, workload)
+        table = EnergyTable.for_design(config.style)
+        power = make_power_report(
+            config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
+        )
+        return FlashAttentionRunResult(design=config, kernel=kernel_result, power=power)
+
+    cache = timing_cache()
+    return cache.get_or_compute(cache.key("flash", config, {"workload": workload}), compute)

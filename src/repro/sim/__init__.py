@@ -3,6 +3,7 @@
 from repro.sim.stats import Counters
 from repro.sim.engine import Event, EventQueue, Simulator
 from repro.sim.resources import Resource, ThroughputResource
+from repro.sim.steady_state import LoopStep, SteadyStateEngine
 from repro.sim.taskgraph import Operation, OperationGraph, ScheduleResult, schedule_graph
 
 __all__ = [
@@ -12,6 +13,8 @@ __all__ = [
     "Simulator",
     "Resource",
     "ThroughputResource",
+    "LoopStep",
+    "SteadyStateEngine",
     "Operation",
     "OperationGraph",
     "ScheduleResult",

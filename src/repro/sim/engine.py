@@ -24,28 +24,45 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when dequeued."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects ordered by time."""
+    """A priority queue of :class:`Event` objects ordered by time.
+
+    Cancelled events stay in the heap until dequeued, but a live-event count
+    is maintained incrementally so ``len``/truthiness are O(1) -- the
+    simulator's main loop checks them every iteration, and rescanning the
+    heap there made :meth:`Simulator.run` quadratic in the event count.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._sequence = itertools.count()
+        self._live = 0
 
     def push(self, time: int, callback: Callable[[], None]) -> Event:
-        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        event = Event(time=time, sequence=next(self._sequence), callback=callback, _queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                # Detach so a late cancel() on the dequeued event cannot
+                # decrement the live count a second time.
+                event._queue = None
                 return event
         return None
 
@@ -55,10 +72,10 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
 
 
 class Simulator:

@@ -31,13 +31,19 @@ class Reservation:
 
 
 class Resource:
-    """An exclusive, serially-occupied hardware unit."""
+    """An exclusive, serially-occupied hardware unit.
 
-    def __init__(self, name: str, count: int = 1) -> None:
+    ``record_reservations`` keeps the per-operation :class:`Reservation`
+    list for inspection (timelines, tests); it is opt-in because large
+    schedules otherwise allocate one record per operation that nobody reads.
+    """
+
+    def __init__(self, name: str, count: int = 1, record_reservations: bool = False) -> None:
         if count < 1:
             raise ValueError("resource must have at least one instance")
         self.name = name
         self.count = count
+        self.record_reservations = record_reservations
         # Earliest-free time per instance.
         self._free_at: List[int] = [0] * count
         self.busy_cycles = 0
@@ -59,7 +65,8 @@ class Resource:
         end = start + duration
         self._free_at[index] = end
         self.busy_cycles += duration
-        self.reservations.append(Reservation(start=start, end=end, label=label))
+        if self.record_reservations:
+            self.reservations.append(Reservation(start=start, end=end, label=label))
         return start, end
 
     def utilization(self, total_cycles: int) -> float:
@@ -83,8 +90,14 @@ class ThroughputResource(Resource):
     ``units_per_cycle`` converts demand into cycles of occupancy, rounded up.
     """
 
-    def __init__(self, name: str, units_per_cycle: float, count: int = 1) -> None:
-        super().__init__(name, count=count)
+    def __init__(
+        self,
+        name: str,
+        units_per_cycle: float,
+        count: int = 1,
+        record_reservations: bool = False,
+    ) -> None:
+        super().__init__(name, count=count, record_reservations=record_reservations)
         if units_per_cycle <= 0:
             raise ValueError("units_per_cycle must be positive")
         self.units_per_cycle = units_per_cycle

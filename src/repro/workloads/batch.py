@@ -23,11 +23,13 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import cached_property
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro import __version__
 from repro.config.soc import DataType
+from repro.perf import timing_cache
 from repro.workloads.models import ModelSpec, resolve_spec
 from repro.workloads.lowering import run_model
 
@@ -49,8 +51,9 @@ class BatchJob:
     heterogeneous: bool = False
     dtype: str = "fp16"
 
-    @property
+    @cached_property
     def spec(self) -> ModelSpec:
+        """The resolved model spec; zoo names are looked up once per job."""
         return resolve_spec(self.model) if isinstance(self.model, str) else self.model
 
     @property
@@ -151,6 +154,11 @@ def _execute_job(job: BatchJob) -> Dict[str, object]:
     return result.to_dict()
 
 
+def _seed_worker_cache(entries: Mapping[str, Any]) -> None:
+    """Pool initializer: pre-load the parent's warm timing cache entries."""
+    timing_cache().load(entries)
+
+
 def run_batch(
     jobs: Sequence[BatchJob],
     cache_dir: Union[str, Path, None] = None,
@@ -183,7 +191,14 @@ def run_batch(
                 fresh[index] = _execute_job(jobs[index])
         else:
             try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Seed each worker with the parent's warm in-process timing
+                # cache so shared kernel shapes are simulated at most once
+                # across the whole sweep.
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_seed_worker_cache,
+                    initargs=(timing_cache().snapshot(),),
+                ) as pool:
                     for index, result in zip(
                         misses, pool.map(_execute_job, [jobs[index] for index in misses])
                     ):
@@ -211,11 +226,19 @@ def run_batch(
 def sweep_jobs(
     models: Sequence[Union[str, ModelSpec]],
     designs: Sequence[str],
-    heterogeneous: bool = False,
+    heterogeneous: Union[bool, Sequence[bool]] = False,
 ) -> List[BatchJob]:
-    """The cross product of models x designs as a job list."""
+    """The cross product of models x designs (x heterogeneous) as a job list.
+
+    ``heterogeneous`` may be a single flag (the default, applied to every
+    job) or a sequence of flags to cross into the sweep -- e.g.
+    ``(False, True)`` runs every (model, design) cell with the single- and
+    dual-unit configurations in one call.
+    """
+    flags = [heterogeneous] if isinstance(heterogeneous, bool) else list(heterogeneous)
     return [
-        BatchJob(model=model, design=design, heterogeneous=heterogeneous)
+        BatchJob(model=model, design=design, heterogeneous=flag)
         for model in models
         for design in designs
+        for flag in flags
     ]

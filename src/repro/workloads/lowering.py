@@ -45,6 +45,7 @@ from repro.kernels.flash_attention import (
 )
 from repro.kernels.gemm import GemmWorkload
 from repro.kernels.heterogeneous import design_with_unit, small_unit_config
+from repro.perf import timing_cache
 from repro.runner import run_flash_attention, run_gemm
 from repro.sim.resources import Resource
 from repro.sim.stats import Counters
@@ -123,7 +124,23 @@ def _supports_fused_attention(design: DesignConfig) -> bool:
 def _simt_cost(
     design: DesignConfig, elements: int, flops_per_element: float
 ) -> Tuple[int, Counters]:
-    """Cycles and activity for the SIMT cores to sweep ``elements`` once."""
+    """Cycles and activity for the SIMT cores to sweep ``elements`` once.
+
+    Memoized in the process-wide timing cache (:mod:`repro.perf`); the
+    returned counters are shared and must not be mutated in place.
+    """
+    cache = timing_cache()
+    key = cache.key(
+        "simt", design, {"elements": elements, "flops_per_element": flops_per_element}
+    )
+    return cache.get_or_compute(
+        key, lambda: _simt_cost_uncached(design, elements, flops_per_element)
+    )
+
+
+def _simt_cost_uncached(
+    design: DesignConfig, elements: int, flops_per_element: float
+) -> Tuple[int, Counters]:
     cluster = design.cluster
     lanes = cluster.cores * cluster.core.lanes
     flops = elements * flops_per_element
@@ -347,6 +364,10 @@ class ModelRunResult:
     phase_cycles: Dict[str, int] = field(default_factory=dict)
     phase_energy_uj: Dict[str, float] = field(default_factory=dict)
     resource_busy: Dict[str, int] = field(default_factory=dict)
+    #: Timing-cache activity attributable to this run ("hits"/"misses");
+    #: diagnostic only and deliberately excluded from :meth:`to_dict` so the
+    #: canonical encoding stays byte-stable across cache states.
+    timing_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def design_name(self) -> str:
@@ -401,7 +422,11 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
     design = schedule.design
     table = EnergyTable.for_design(design.style)
 
-    # Phase 1: per-kernel simulation through the existing runner entry points.
+    # Phase 1: per-kernel simulation through the existing runner entry
+    # points.  The runner memoizes per distinct kernel content, so a model
+    # with L layers of ~3 distinct shapes simulates ~3 kernels, not ~3L.
+    cache = timing_cache()
+    hits_before, misses_before = cache.hits, cache.misses
     durations: Dict[str, int] = {}
     kernel_counters: Dict[str, Counters] = {}
     kernel_util: Dict[str, float] = {}
@@ -430,6 +455,10 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
         kernel_counters[inv.name] = (
             counters.scaled(inv.work_scale) if inv.work_scale != 1.0 else counters
         )
+    cache_stats = {
+        "hits": cache.hits - hits_before,
+        "misses": cache.misses - misses_before,
+    }
 
     # Phase 2: place the kernels on the cluster's resources; independent
     # kernels (e.g. SIMT elementwise vs the next layer's GEMM, or small-unit
@@ -511,6 +540,7 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
         phase_cycles=phase_cycles,
         phase_energy_uj=phase_energy,
         resource_busy=placed.resource_busy,
+        timing_cache=cache_stats,
     )
 
 

@@ -121,3 +121,73 @@ class TestSweepJobs:
     def test_unknown_model_fails_at_key_time(self):
         with pytest.raises(KeyError):
             BatchJob("not-a-model", "virgo").key()
+
+    def test_heterogeneous_sequence_crosses_into_jobs(self):
+        jobs = sweep_jobs(["gpt-decode"], ["virgo"], heterogeneous=(False, True))
+        assert len(jobs) == 2
+        assert [job.heterogeneous for job in jobs] == [False, True]
+        assert {job.label for job in jobs} == {"gpt-decode@virgo", "gpt-decode@virgo+hetero"}
+
+    def test_heterogeneous_bool_keeps_single_flag(self):
+        jobs = sweep_jobs(["gpt-decode"], ["virgo"], heterogeneous=True)
+        assert [job.heterogeneous for job in jobs] == [True]
+
+
+class TestSpecResolution:
+    def test_spec_resolved_once_per_job(self, monkeypatch):
+        calls = []
+        real = batch_module.resolve_spec
+
+        def counting(name):
+            calls.append(name)
+            return real(name)
+
+        monkeypatch.setattr(batch_module, "resolve_spec", counting)
+        job = BatchJob("gpt-decode", "virgo")
+        job.key()
+        job.key()
+        assert job.spec is job.spec
+        assert calls == ["gpt-decode"]
+
+    def test_explicit_spec_never_resolves(self, monkeypatch):
+        monkeypatch.setattr(
+            batch_module, "resolve_spec", lambda name: pytest.fail("resolved a ModelSpec job")
+        )
+        assert BatchJob(TINY, "virgo").spec is TINY
+
+
+class TestWorkerCacheSeeding:
+    def test_seed_worker_cache_loads_entries(self):
+        from repro.perf import timing_cache
+        from repro.runner import run_gemm
+        from repro.config.presets import DesignKind
+
+        timing_cache().clear()
+        try:
+            run_gemm(DesignKind.VIRGO, 128)
+            snapshot = timing_cache().snapshot()
+            assert snapshot
+            timing_cache().clear()
+            batch_module._seed_worker_cache(snapshot)
+            assert len(timing_cache()) == len(snapshot)
+            # A seeded lookup is a hit, not a recomputation.
+            run_gemm(DesignKind.VIRGO, 128)
+            assert timing_cache().hits == 1 and timing_cache().misses == 0
+        finally:
+            timing_cache().clear()
+
+    def test_snapshot_is_picklable_for_pool_initargs(self):
+        import pickle
+
+        from repro.perf import timing_cache
+        from repro.runner import run_flash_attention, run_gemm
+        from repro.config.presets import DesignKind
+
+        timing_cache().clear()
+        try:
+            run_gemm(DesignKind.VIRGO, 128)
+            run_flash_attention(DesignKind.VIRGO)
+            restored = pickle.loads(pickle.dumps(timing_cache().snapshot()))
+            assert len(restored) == 2
+        finally:
+            timing_cache().clear()

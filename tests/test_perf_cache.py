@@ -1,0 +1,189 @@
+"""Tests for the ``repro.perf`` timing cache and its integration points.
+
+The core contract: memoization must be invisible in the results.  A model
+run against a cold cache, a warm cache or a disabled cache produces the
+same canonical ``to_dict()`` encoding for every zoo model x design x dtype
+combination; the cache only changes how often the kernel timing models run.
+"""
+
+import pytest
+
+from repro.config.presets import DesignKind, make_design
+from repro.config.soc import DataType
+from repro.kernels.flash_attention import FlashAttentionWorkload
+from repro.kernels.gemm import GemmWorkload
+from repro.perf import (
+    TimingCache,
+    cache_disabled,
+    canonical_value,
+    design_fingerprint,
+    timing_cache,
+)
+from repro.runner import run_flash_attention, run_gemm
+from repro.workloads import model_names, run_model
+from repro.workloads.lowering import _simt_cost
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts and ends with an empty global cache."""
+    timing_cache().clear()
+    yield
+    timing_cache().clear()
+
+
+class TestCacheEquivalence:
+    @pytest.mark.parametrize("model", model_names())
+    @pytest.mark.parametrize("design", ["volta", "ampere", "hopper", "virgo"])
+    @pytest.mark.parametrize("dtype", [DataType.FP16, DataType.FP32], ids=lambda d: d.value)
+    def test_memoized_equals_cold_for_zoo(self, model, design, dtype):
+        with cache_disabled():
+            cold = run_model(model, design, dtype=dtype).to_dict()
+        first = run_model(model, design, dtype=dtype).to_dict()
+        warm = run_model(model, design, dtype=dtype).to_dict()
+        assert first == cold
+        assert warm == cold
+
+    def test_heterogeneous_memoized_equals_cold(self):
+        with cache_disabled():
+            cold = run_model("gpt-decode", "virgo", heterogeneous=True).to_dict()
+        run_model("gpt-decode", "virgo", heterogeneous=True)
+        warm = run_model("gpt-decode", "virgo", heterogeneous=True).to_dict()
+        assert warm == cold
+
+    def test_second_run_is_all_hits(self):
+        first = run_model("gpt-prefill", "virgo")
+        assert first.timing_cache["misses"] > 0
+        # Layers repeat shapes, so even the first run hits within itself.
+        assert first.timing_cache["hits"] > 0
+        second = run_model("gpt-prefill", "virgo")
+        assert second.timing_cache["misses"] == 0
+        assert second.timing_cache["hits"] == (
+            first.timing_cache["hits"] + first.timing_cache["misses"]
+        )
+
+    def test_distinct_shapes_simulated_once_per_process(self):
+        result = run_model("gpt-prefill", "virgo")
+        assert result.timing_cache["misses"] == len(timing_cache())
+        assert result.kernel_count == (
+            result.timing_cache["hits"] + result.timing_cache["misses"]
+        )
+
+
+class TestRunnerMemoization:
+    def test_run_gemm_returns_shared_result(self):
+        first = run_gemm(DesignKind.VIRGO, 256)
+        second = run_gemm(DesignKind.VIRGO, 256)
+        assert second is first
+        assert timing_cache().hits == 1
+
+    def test_run_gemm_distinguishes_design_workload_dtype(self):
+        run_gemm(DesignKind.VIRGO, 256)
+        run_gemm(DesignKind.AMPERE, 256)
+        run_gemm(DesignKind.VIRGO, 512)
+        run_gemm(DesignKind.VIRGO, 256, DataType.FP32)
+        assert timing_cache().misses == 4
+        assert timing_cache().hits == 0
+
+    def test_run_gemm_workload_and_size_spellings_share_entry(self):
+        by_size = run_gemm(DesignKind.VIRGO, 256)
+        by_workload = run_gemm(DesignKind.VIRGO, GemmWorkload.square(256))
+        assert by_workload is by_size
+
+    def test_run_flash_attention_memoizes(self):
+        first = run_flash_attention(DesignKind.VIRGO)
+        second = run_flash_attention(DesignKind.VIRGO, FlashAttentionWorkload())
+        assert second is first
+        third = run_flash_attention(DesignKind.VIRGO, FlashAttentionWorkload(seq_len=512))
+        assert third is not first
+
+    def test_flash_kind_and_config_spellings_share_entry(self):
+        by_kind = run_flash_attention(DesignKind.AMPERE)
+        by_config = run_flash_attention(make_design(DesignKind.AMPERE, DataType.FP32))
+        assert by_config is by_kind
+
+    def test_simt_cost_memoizes(self):
+        design = make_design(DesignKind.VIRGO, DataType.FP16)
+        first = _simt_cost(design, 4096, 8.0)
+        second = _simt_cost(design, 4096, 8.0)
+        assert second is first
+        assert _simt_cost(design, 4096, 4.0) is not first
+
+    def test_disabled_cache_stores_nothing(self):
+        with cache_disabled():
+            run_gemm(DesignKind.VIRGO, 256)
+        assert len(timing_cache()) == 0
+        assert timing_cache().stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestTimingCacheMechanics:
+    def test_snapshot_seeds_another_cache(self):
+        run_gemm(DesignKind.VIRGO, 256)
+        snapshot = timing_cache().snapshot()
+        other = TimingCache()
+        other.load(snapshot)
+        assert len(other) == len(timing_cache())
+        key = next(iter(snapshot))
+        assert key in other
+
+    def test_clear_resets_stats_and_entries(self):
+        run_gemm(DesignKind.VIRGO, 256)
+        run_gemm(DesignKind.VIRGO, 256)
+        cache = timing_cache()
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_design_fingerprint_tracks_content(self):
+        fp16 = make_design(DesignKind.VIRGO, DataType.FP16)
+        fp16_again = make_design(DesignKind.VIRGO, DataType.FP16)
+        fp32 = make_design(DesignKind.VIRGO, DataType.FP32)
+        assert design_fingerprint(fp16) == design_fingerprint(fp16_again)
+        assert design_fingerprint(fp16) != design_fingerprint(fp32)
+
+    def test_canonical_value_handles_nested_dataclasses_and_enums(self):
+        workload = GemmWorkload(m=8, n=16, k=32, dtype=DataType.FP32)
+        assert canonical_value(workload) == {"m": 8, "n": 16, "k": 32, "dtype": "fp32"}
+        assert canonical_value({"w": (workload,)}) == {
+            "w": [{"m": 8, "n": 16, "k": 32, "dtype": "fp32"}]
+        }
+
+    def test_key_is_deterministic_and_content_sensitive(self):
+        cache = timing_cache()
+        design = make_design(DesignKind.VIRGO, DataType.FP16)
+        key = cache.key("gemm", design, {"workload": GemmWorkload.square(64)})
+        assert key == cache.key("gemm", design, {"workload": GemmWorkload.square(64)})
+        assert key != cache.key("flash", design, {"workload": GemmWorkload.square(64)})
+        assert key != cache.key("gemm", design, {"workload": GemmWorkload.square(65)})
+
+
+class TestConcurrentMisses:
+    def test_racing_computes_converge_on_one_shared_entry(self):
+        """Losers of a compute race return the stored winner, not their own copy."""
+        cache = TimingCache()
+        key = "same-key"
+        first = cache.get_or_compute(key, lambda: object())
+        # Simulate the race's loser: entry already present when it re-locks.
+        second = cache.get_or_compute(key, lambda: object())
+        assert second is first
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_threaded_lookups_share_one_object(self):
+        import threading
+
+        cache = TimingCache()
+        results = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_compute("k", lambda: object()))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) == 1
+        assert all(result is results[0] for result in results)
+        assert cache.hits + cache.misses == 4

@@ -254,3 +254,80 @@ class TestOperationGraph:
         graph.add_operation("b", "matrix", 20, kind="compute")
         result = graph.schedule()
         assert result.critical_kind_cycles() == {"dma": 10, "compute": 20}
+
+
+class TestReservationRecording:
+    def test_recording_is_opt_in(self):
+        resource = Resource("unit")
+        resource.reserve(0, 10, label="op")
+        assert resource.reservations == []
+        assert resource.busy_cycles == 10
+
+    def test_opt_in_records_intervals(self):
+        resource = Resource("unit", record_reservations=True)
+        resource.reserve(0, 10, label="a")
+        resource.reserve(0, 5, label="b")
+        assert [(r.start, r.end, r.label) for r in resource.reservations] == [
+            (0, 10, "a"),
+            (10, 15, "b"),
+        ]
+
+    def test_throughput_resource_passes_flag_through(self):
+        resource = ThroughputResource("bw", units_per_cycle=4, record_reservations=True)
+        resource.reserve_units(0, 16, label="xfer")
+        assert len(resource.reservations) == 1
+        assert resource.reservations[0].duration == 4
+
+
+class TestEventQueueLiveCount:
+    """len()/truthiness are tracked incrementally, not by rescanning the heap."""
+
+    def test_push_pop_cancel_keep_count_consistent(self):
+        queue = EventQueue()
+        events = [queue.push(i, lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[0].cancel()
+        events[0].cancel()  # idempotent: counted once
+        assert len(queue) == 4
+        assert queue.pop() is events[1]
+        assert len(queue) == 3
+        for event in events[2:]:
+            event.cancel()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
+
+    def test_simulator_drains_with_many_cancellations(self):
+        simulator = Simulator()
+        fired = []
+        keepers = [simulator.schedule(i, lambda i=i: fired.append(i)) for i in range(0, 100, 2)]
+        victims = [simulator.schedule(i, lambda: fired.append(-1)) for i in range(1, 100, 2)]
+        for victim in victims:
+            victim.cancel()
+        simulator.run()
+        assert fired == list(range(0, 100, 2))
+        assert simulator.events_processed == len(keepers)
+
+    def test_cancel_after_pop_does_not_corrupt_live_count(self):
+        queue = EventQueue()
+        first = queue.push(0, lambda: None)
+        queue.push(1, lambda: None)
+        popped = queue.pop()
+        assert popped is first
+        popped.cancel()  # late cancel of a dequeued event must be a no-op
+        assert len(queue) == 1
+        assert queue
+
+    def test_callback_cancelling_its_own_event_keeps_simulator_running(self):
+        simulator = Simulator()
+        fired = []
+        holder = {}
+
+        def self_cancelling():
+            fired.append("first")
+            holder["event"].cancel()
+
+        holder["event"] = simulator.schedule(1, self_cancelling)
+        simulator.schedule(2, lambda: fired.append("second"))
+        simulator.run()
+        assert fired == ["first", "second"]
