@@ -9,6 +9,7 @@ Examples
     python -m repro compare          # full paper-vs-measured report
     python -m repro hetero
     python -m repro model --name gpt-prefill --design virgo
+    python -m repro model --name moe-decode --design virgo --hetero --moe-breakdown
     python -m repro model --batch --names gpt-prefill,gpt-decode --designs virgo,ampere
 """
 
@@ -38,6 +39,7 @@ from repro.analysis.tables import (
 from repro.analysis.model_breakdown import (
     LAYER_HEADERS,
     compare_models,
+    format_overlap_report,
     model_breakdown_report,
     model_layer_rows,
     model_phase_summary,
@@ -142,6 +144,13 @@ def _cmd_model(args: argparse.Namespace) -> None:
                 f"batch={spec.batch} seq={spec.seq_len} hidden={spec.hidden} "
                 f"blocks={spec.blocks} heads={spec.heads}"
                 + (f" kv_heads={spec.kv_heads}" if spec.kv_heads else "")
+                + (
+                    f" experts={spec.experts} top_k={spec.top_k}"
+                    + (f" cap={spec.capacity_factor:g}" if spec.capacity_factor != 1.0 else "")
+                    + (f" shared={spec.shared_experts}" if spec.shared_experts else "")
+                    if spec.experts
+                    else ""
+                )
             )
         return
 
@@ -199,6 +208,9 @@ def _cmd_model(args: argparse.Namespace) -> None:
     )
     print(format_table(LAYER_HEADERS, model_layer_rows(result)))
     print()
+    if args.moe_breakdown:
+        print(format_overlap_report(result))
+        print()
     for phase, summary in model_phase_summary(result).items():
         print(
             f"phase {phase}: {summary['busy_cycles']:,.0f} busy cycles, "
@@ -263,6 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--design", default="virgo", help="volta | ampere | hopper | virgo")
     model.add_argument("--hetero", action="store_true",
                        help="route small GEMMs onto a half-size secondary matrix unit")
+    model.add_argument("--moe-breakdown", action="store_true",
+                       help="report per-unit occupancy and measured overlap "
+                            "(makespan vs. serialized kernel time)")
     model.add_argument("--json", action="store_true", help="emit the full JSON breakdown")
     model.add_argument("--list", action="store_true", help="list the model zoo and exit")
     model.add_argument("--batch", action="store_true", help="run a (models x designs) sweep")

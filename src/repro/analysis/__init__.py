@@ -30,15 +30,19 @@ from repro.analysis.sweeps import (
 )
 from repro.analysis.model_breakdown import (
     compare_models,
+    format_overlap_report,
     model_breakdown_report,
     model_kind_cycles,
     model_layer_rows,
+    model_overlap_report,
     model_phase_summary,
 )
 
 __all__ = [
     "compare_models",
+    "format_overlap_report",
     "model_breakdown_report",
+    "model_overlap_report",
     "model_kind_cycles",
     "model_layer_rows",
     "model_phase_summary",

@@ -10,14 +10,24 @@ Pipeline
 1. :mod:`repro.workloads.graph` -- a declarative layer-graph IR with shape
    inference over (batch, sequence, features, heads);
 2. :mod:`repro.workloads.models` -- a model zoo building GPT-style decoders
-   (prefill and decode as separate graphs), BERT-style encoders and a
-   GEMM-chain baseline from a :class:`~repro.workloads.models.ModelSpec`;
+   (prefill and decode as separate graphs), Mixtral-style MoE decoders with
+   expert-parallel FFN blocks, BERT-style encoders and a GEMM-chain baseline
+   from a :class:`~repro.workloads.models.ModelSpec`;
 3. :mod:`repro.workloads.lowering` -- lowers each layer onto the existing
    GEMM / FlashAttention / SIMT kernel models, schedules the resulting
    dependency graph on the cluster's resources, and aggregates a
    :class:`~repro.workloads.lowering.ModelRunResult`;
 4. :mod:`repro.workloads.batch` -- fans (model, design) sweeps over a
-   process pool with a content-hashed on-disk JSON result cache.
+   process pool with a content-hashed on-disk JSON result cache
+   (:func:`~repro.workloads.batch.moe_sweep_jobs` crosses the MoE routing
+   knobs: experts x top-k x capacity factor x design x unit config).
+
+Per-kernel timings flow through the process-wide timing cache
+(:mod:`repro.perf`; per-run hit/miss stats land in
+``ModelRunResult.timing_cache``) and, for GEMMs, through the steady-state
+compressed scheduler (``full_expansion=True`` on
+:func:`repro.kernels.gemm.simulate_gemm` keeps the expanded oracle path).
+``docs/perf-contract.md`` states both contracts precisely.
 
 Usage
 -----
@@ -29,6 +39,7 @@ From the command line::
 
     python -m repro model --list
     python -m repro model --name gpt-prefill --design virgo
+    python -m repro model --name moe-decode --design virgo --hetero --moe-breakdown
     python -m repro model --batch --names gpt-prefill,gpt-decode \\
         --designs virgo,ampere --cache-dir /tmp/repro-cache
 """
@@ -40,6 +51,8 @@ from repro.workloads.graph import (
     LayerGraph,
     LayerKind,
     LinearLayer,
+    MoeBlock,
+    MoeFfnLayer,
     NormLayer,
     TensorShape,
 )
@@ -51,6 +64,7 @@ from repro.workloads.models import (
     gemm_chain,
     gpt_decoder,
     model_names,
+    moe_decoder,
     resolve_spec,
     scaled_spec,
 )
@@ -68,6 +82,7 @@ from repro.workloads.batch import (
     BatchOutcome,
     BatchReport,
     ResultCache,
+    moe_sweep_jobs,
     run_batch,
     sweep_jobs,
 )
@@ -79,6 +94,8 @@ __all__ = [
     "LayerGraph",
     "LayerKind",
     "LinearLayer",
+    "MoeBlock",
+    "MoeFfnLayer",
     "NormLayer",
     "TensorShape",
     "MODEL_ZOO",
@@ -88,6 +105,7 @@ __all__ = [
     "gemm_chain",
     "gpt_decoder",
     "model_names",
+    "moe_decoder",
     "resolve_spec",
     "scaled_spec",
     "KernelInvocation",
@@ -101,6 +119,7 @@ __all__ = [
     "BatchOutcome",
     "BatchReport",
     "ResultCache",
+    "moe_sweep_jobs",
     "run_batch",
     "sweep_jobs",
 ]

@@ -12,6 +12,14 @@ transparently invalidates exactly the affected entries.
 Cache entries are the canonical ``ModelRunResult.to_dict()`` encoding (the
 same JSON the CLI prints), so cached and fresh results are indistinguishable
 to consumers.
+
+The on-disk cache composes with the in-process *timing* cache
+(:mod:`repro.perf`): worker processes are seeded with a snapshot of the
+parent's warm timing cache, so cache-missing jobs that share kernel shapes
+still simulate each distinct shape at most once across the sweep.  MoE
+sweeps profit doubly -- all experts of one layer share a GEMM shape, so an
+entire expert fan-out costs one simulation (``ModelRunResult.timing_cache``
+reports the per-run hit/miss split).
 """
 
 from __future__ import annotations
@@ -30,11 +38,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from repro import __version__
 from repro.config.soc import DataType
 from repro.perf import timing_cache
-from repro.workloads.models import ModelSpec, resolve_spec
+from repro.workloads.models import ModelSpec, resolve_spec, scaled_spec
 from repro.workloads.lowering import run_model
 
 #: Bump to invalidate every cache entry when the timing models change shape.
-CACHE_SCHEMA_VERSION = 1
+#: 2: ModelSpec grew the MoE hyperparameters (experts/top_k/capacity_factor/
+#: shared_experts), which widen the hashed spec payload.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -58,7 +68,18 @@ class BatchJob:
 
     @property
     def label(self) -> str:
-        name = self.model if isinstance(self.model, str) else self.model.family
+        if isinstance(self.model, str):
+            name = self.model
+        else:
+            # Spec-based jobs (sweeps) need the varied knobs in the label,
+            # or every cell of an MoE sweep would print identically.
+            name = self.model.family
+            if self.model.experts:
+                name += f"-{self.model.experts}x{self.model.top_k}"
+                if self.model.capacity_factor != 1.0:
+                    name += f"-cap{self.model.capacity_factor:g}"
+                if self.model.shared_experts:
+                    name += f"-s{self.model.shared_experts}"
         suffix = "+hetero" if self.heterogeneous else ""
         return f"{name}@{self.design}{suffix}"
 
@@ -239,6 +260,48 @@ def sweep_jobs(
     return [
         BatchJob(model=model, design=design, heterogeneous=flag)
         for model in models
+        for design in designs
+        for flag in flags
+    ]
+
+
+def moe_sweep_jobs(
+    base: Union[str, ModelSpec] = "moe-decode",
+    experts: Sequence[int] = (4, 8, 16),
+    top_ks: Sequence[int] = (1, 2),
+    designs: Sequence[str] = ("virgo",),
+    capacity_factors: Sequence[float] = (1.0,),
+    heterogeneous: Union[bool, Sequence[bool]] = (False, True),
+) -> List[BatchJob]:
+    """The (experts x top_k x capacity x design x unit-config) MoE sweep.
+
+    ``base`` supplies every non-MoE hyperparameter (zoo name or explicit
+    spec) and must be a ``family="moe"`` model -- other families silently
+    ignore the routing knobs, which would make every cell identical.  Each
+    cell overrides the knobs via :func:`scaled_spec`, so the batch runner's
+    content hash distinguishes every combination.  Infeasible cells
+    (``top_k > experts``) are skipped rather than raised, which lets callers
+    pass rectangular ranges.
+    """
+    base_spec = resolve_spec(base) if isinstance(base, str) else base
+    if base_spec.family != "moe":
+        raise ValueError(
+            f"moe_sweep_jobs needs a family='moe' base spec, got "
+            f"family={base_spec.family!r} (the MoE knobs would be ignored)"
+        )
+    flags = [heterogeneous] if isinstance(heterogeneous, bool) else list(heterogeneous)
+    return [
+        BatchJob(
+            model=scaled_spec(
+                base_spec, experts=count, top_k=top_k, capacity_factor=factor
+            ),
+            design=design,
+            heterogeneous=flag,
+        )
+        for count in experts
+        for top_k in top_ks
+        if top_k <= count
+        for factor in capacity_factors
         for design in designs
         for flag in flags
     ]

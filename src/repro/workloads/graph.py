@@ -17,11 +17,20 @@ Attention nodes carry the variants a real model frontend must express --
 grouped-query / multi-query head counts, causal masking and decode-phase
 single-query attention against a longer KV context -- mirroring the variant
 matrix of the ROCm flash-attention test harness.
+
+Mixture-of-experts FFN blocks are a single :class:`MoeFfnLayer` node (or
+:class:`MoeBlock` when shared experts ride along): the node carries the
+routing hyperparameters (expert count, top-k, capacity factor) and the
+lowering pass expands it into a router/dispatch prologue, one independent
+GEMM pair per active expert and a combine epilogue.  Keeping the fan-out
+implicit at the IR level means shape inference stays per-node while the
+emitted kernel schedule is as wide as the expert count.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -33,6 +42,7 @@ class LayerKind(enum.Enum):
     ATTENTION = "attention"
     ELEMENTWISE = "elementwise"
     NORM = "norm"
+    MOE_FFN = "moe_ffn"
 
 
 @dataclass(frozen=True)
@@ -185,6 +195,116 @@ class AttentionLayer(Layer):
 
 
 @dataclass(frozen=True)
+class MoeFfnLayer(Layer):
+    """Mixture-of-experts FFN: router -> top-k dispatch -> experts -> combine.
+
+    A single graph node stands for the whole expert-parallel block; the
+    lowering pass fans it out into a SIMT router/dispatch prologue, one
+    *independent* GEMM pair (up projection, activation, down projection) per
+    active expert, and a SIMT combine epilogue weighted by the router
+    probabilities.  Because the expert chains share no edges with each other,
+    this is the wide-graph shape where the dual-unit cluster can finally
+    overlap its matrix and SIMT resources instead of ping-ponging.
+
+    Routing follows the standard capacity model: each of the ``experts``
+    experts processes at most ``expert_capacity`` tokens, where the capacity
+    is ``ceil(tokens * top_k * capacity_factor / experts)``; experts that no
+    token can reach (``tokens * top_k < experts``, the decode regime) emit no
+    kernels at all.
+    """
+
+    in_features: int = 0
+    expert_hidden: int = 0
+    experts: int = 8
+    top_k: int = 2
+    capacity_factor: float = 1.0
+    #: FLOPs/element of the per-expert activation (GeLU by default).
+    activation_flops: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.expert_hidden <= 0:
+            raise ValueError(f"moe layer {self.name!r} needs positive feature dims")
+        if self.experts <= 0 or not 0 < self.top_k <= self.experts:
+            raise ValueError(
+                f"moe layer {self.name!r}: need 0 < top_k ({self.top_k}) <= "
+                f"experts ({self.experts})"
+            )
+        if self.capacity_factor <= 0:
+            raise ValueError(f"moe layer {self.name!r} needs a positive capacity factor")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.MOE_FFN
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        shape = inputs[0]
+        if shape.features != self.in_features:
+            raise ValueError(
+                f"moe layer {self.name!r} expects {self.in_features} input features, "
+                f"got {shape.features}"
+            )
+        return shape
+
+    def active_experts(self, shape: TensorShape) -> int:
+        """Experts that receive at least one token: decode steps route
+        ``tokens * top_k`` assignments, which can undershoot the expert count."""
+        return min(self.experts, shape.tokens * self.top_k)
+
+    def expert_capacity(self, shape: TensorShape) -> int:
+        """Tokens each active expert processes (capacity-bound, padded up)."""
+        routed = shape.tokens * self.top_k * self.capacity_factor
+        return max(1, math.ceil(routed / self.experts))
+
+    def expert_gemm_dims(self, shape: TensorShape) -> Tuple[Tuple[int, int, int], ...]:
+        """(m, n, k) of the up and down projections of one expert."""
+        m = self.expert_capacity(shape)
+        return (
+            (m, self.expert_hidden, self.in_features),
+            (m, self.in_features, self.expert_hidden),
+        )
+
+    @property
+    def router_flops_per_token(self) -> float:
+        """Gating projection + softmax + top-k selection, all on the SIMT cores."""
+        return 2.0 * self.in_features * self.experts + 8.0 * self.experts
+
+    def expert_macs(self, shape: TensorShape) -> int:
+        """Matrix-unit MACs across all active experts (both projections)."""
+        per_expert = sum(m * n * k for m, n, k in self.expert_gemm_dims(shape))
+        return self.active_experts(shape) * per_expert
+
+
+@dataclass(frozen=True)
+class MoeBlock(MoeFfnLayer):
+    """A routed MoE FFN with DeepSeek-style always-on shared experts.
+
+    ``shared_experts`` dense experts process *every* token regardless of the
+    router's decision; their GEMM chains depend only on the block input, not
+    on the router, so they can start before routing resolves -- extra
+    router-independent work for the scheduler to overlap.
+    """
+
+    shared_experts: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shared_experts < 0:
+            raise ValueError(f"moe block {self.name!r} needs shared_experts >= 0")
+
+    def shared_gemm_dims(self, shape: TensorShape) -> Tuple[Tuple[int, int, int], ...]:
+        """(m, n, k) of one shared expert's projections: all tokens, no capacity."""
+        return (
+            (shape.tokens, self.expert_hidden, self.in_features),
+            (shape.tokens, self.in_features, self.expert_hidden),
+        )
+
+    def expert_macs(self, shape: TensorShape) -> int:
+        routed = super().expert_macs(shape)
+        shared = sum(m * n * k for m, n, k in self.shared_gemm_dims(shape))
+        return routed + self.shared_experts * shared
+
+
+@dataclass(frozen=True)
 class ElementwiseLayer(Layer):
     """Pointwise math on the activation: activations, residual adds, scaling."""
 
@@ -282,6 +402,8 @@ class LayerGraph:
                 total += shape.tokens * layer.weight_macs_per_token
             elif isinstance(layer, AttentionLayer):
                 total += layer.score_macs(shape)
+            elif isinstance(layer, MoeFfnLayer):
+                total += layer.expert_macs(shape)
         return total
 
     def __len__(self) -> int:

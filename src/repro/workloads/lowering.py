@@ -12,18 +12,28 @@ list of kernel invocations, each bound to one of the existing timing models:
   decode phase, where the single-query shape defeats the fused kernel's
   tiling;
 * elementwise and norm layers become SIMT kernels costed with the same
-  lane/issue model the softmax cost model uses.
+  lane/issue model the softmax cost model uses;
+* MoE FFN nodes (:class:`~repro.workloads.graph.MoeFfnLayer`) fan out into a
+  SIMT router/dispatch prologue, one independent up/activation/down chain per
+  active expert and a SIMT combine epilogue -- the wide-graph case where the
+  matrix and SIMT units genuinely co-run instead of ping-ponging.
 
 On the disaggregated design the ``heterogeneous`` flag routes small GEMMs
 (decode-phase projections, in practice) onto a half-size secondary matrix
 unit, reproducing the Section 6.3 dual-unit configuration at model scale:
 small kernels overlap with large ones instead of queueing behind them.
+Independent MoE expert GEMMs are instead *spread* across the two units in
+proportion to their throughput (see :func:`_moe_expert_resource`), so both
+matrix units draw down the expert pool concurrently.
 
-``execute_schedule`` then runs every invocation through :mod:`repro.runner`,
-places the resulting durations on an :class:`repro.sim.taskgraph.OperationGraph`
-(so independent kernels overlap exactly where the resource model allows) and
-aggregates cycles, MAC utilization and energy per layer, per phase and for
-the whole model into a :class:`ModelRunResult`.
+``execute_schedule`` then runs every invocation through :mod:`repro.runner`
+(every per-kernel simulation is memoized in the process-wide timing cache,
+see :mod:`repro.perf`; the hit/miss counts attributable to the run land in
+``ModelRunResult.timing_cache``), places the resulting durations on an
+:class:`repro.sim.taskgraph.OperationGraph` (so independent kernels overlap
+exactly where the resource model allows) and aggregates cycles, MAC
+utilization and energy per layer, per phase and for the whole model into a
+:class:`ModelRunResult`.
 
 Causal masks are modelled by scaling score-proportional work by the masked
 fraction (0.5 for a full triangular mask) rather than re-tiling the kernels;
@@ -57,6 +67,8 @@ from repro.workloads.graph import (
     LayerGraph,
     LayerKind,
     LinearLayer,
+    MoeBlock,
+    MoeFfnLayer,
     NormLayer,
 )
 from repro.workloads.models import ModelSpec, build_model
@@ -227,6 +239,146 @@ def _lower_attention(
     return [scores, softmax, output]
 
 
+def _moe_expert_resource(
+    index: int,
+    workload: GemmWorkload,
+    design: DesignConfig,
+    small_design: Optional[DesignConfig],
+) -> str:
+    """Matrix unit for expert ``index``'s GEMM pair in heterogeneous mode.
+
+    Expert GEMMs are small and mutually independent, so instead of funnelling
+    every small GEMM onto the half-size unit (the right call for a sequential
+    chain, where it frees the big unit for the *next* large kernel), experts
+    are spread across both units in proportion to their throughput: with the
+    default 4x capacity ratio every fifth expert rides the small unit, so
+    both units finish their share at roughly the same time.
+    """
+    if small_design is None or workload.macs >= HETERO_SMALL_GEMM_MACS:
+        return MATRIX_RESOURCE
+    large_mpc = design.matrix_unit.macs_per_cycle
+    small_mpc = max(1, small_design.matrix_unit.macs_per_cycle)
+    stride = max(2, round(large_mpc / small_mpc) + 1)
+    return SMALL_MATRIX_RESOURCE if index % stride == stride - 1 else MATRIX_RESOURCE
+
+
+def _lower_moe(
+    layer: MoeFfnLayer,
+    graph: LayerGraph,
+    design: DesignConfig,
+    small_design: Optional[DesignConfig],
+    deps: Tuple[str, ...],
+    dtype: DataType,
+) -> List[KernelInvocation]:
+    """Expand one MoE FFN node into its expert-parallel kernel fan-out.
+
+    Emitted structure (edges only within each chain -- experts never depend
+    on each other, which is what lets the scheduler co-run the units)::
+
+        router (SIMT) -> dispatch (SIMT) -> e0.up -> e0.act -> e0.down \\
+                                            e1.up -> e1.act -> e1.down  -> combine (SIMT)
+                                            ...                        /
+        s0.up -> s0.act -> s0.down  (shared experts skip the router)  /
+    """
+    shape = graph.input_shape_of(layer)
+    base = dict(layer=layer.name, phase=layer.phase or "default")
+    tokens = shape.tokens
+
+    router = KernelInvocation(
+        name=f"{layer.name}.router",
+        kind="simt",
+        resource=SIMT_RESOURCE,
+        deps=deps,
+        elements=tokens,
+        flops_per_element=layer.router_flops_per_token,
+        **base,
+    )
+    active = layer.active_experts(shape)
+    capacity = layer.expert_capacity(shape)
+    dispatch = KernelInvocation(
+        name=f"{layer.name}.dispatch",
+        kind="simt",
+        resource=SIMT_RESOURCE,
+        deps=(router.name,),
+        elements=active * capacity * layer.in_features,
+        flops_per_element=1.0,
+        **base,
+    )
+    # One (up, act, down) chain per expert; chains share no edges.  The
+    # invocations are emitted stage-interleaved (all ups, all activations,
+    # all downs) because the list scheduler reserves resources in insertion
+    # order: interleaving lets expert j's SIMT activation run under expert
+    # j+1's matrix-unit GEMM instead of leaving the matrix unit idle.
+    ups: List[KernelInvocation] = []
+    acts: List[KernelInvocation] = []
+    downs: List[KernelInvocation] = []
+
+    def expert_chain(tag: str, index: int, dims, chain_deps: Tuple[str, ...]) -> str:
+        """Queue one up -> activation -> down chain; returns the down kernel."""
+        (up_m, up_n, up_k), (down_m, down_n, down_k) = dims
+        up_workload = GemmWorkload(m=up_m, n=up_n, k=up_k, dtype=dtype)
+        down_workload = GemmWorkload(m=down_m, n=down_n, k=down_k, dtype=dtype)
+        resource = _moe_expert_resource(index, up_workload, design, small_design)
+        up = KernelInvocation(
+            name=f"{layer.name}.{tag}.up",
+            kind="gemm",
+            resource=resource,
+            deps=chain_deps,
+            workload=up_workload,
+            **base,
+        )
+        act = KernelInvocation(
+            name=f"{layer.name}.{tag}.act",
+            kind="simt",
+            resource=SIMT_RESOURCE,
+            deps=(up.name,),
+            elements=up_m * up_n,
+            flops_per_element=layer.activation_flops,
+            **base,
+        )
+        down = KernelInvocation(
+            name=f"{layer.name}.{tag}.down",
+            kind="gemm",
+            resource=resource,
+            deps=(act.name,),
+            workload=down_workload,
+            **base,
+        )
+        ups.append(up)
+        acts.append(act)
+        downs.append(down)
+        return down.name
+
+    combine_deps: List[str] = []
+    # Shared experts first: their chains depend only on the block input, so
+    # the matrix unit starts on them while the router is still deciding.
+    if isinstance(layer, MoeBlock) and layer.shared_experts:
+        shared_dims = layer.shared_gemm_dims(shape)
+        combine_deps.extend(
+            expert_chain(f"s{index}", active + index, shared_dims, deps)
+            for index in range(layer.shared_experts)
+        )
+    expert_dims = layer.expert_gemm_dims(shape)
+    combine_deps.extend(
+        expert_chain(f"e{index}", index, expert_dims, (dispatch.name,))
+        for index in range(active)
+    )
+
+    invocations = [router, dispatch, *ups, *acts, *downs]
+    invocations.append(
+        KernelInvocation(
+            name=f"{layer.name}.combine",
+            kind="simt",
+            resource=SIMT_RESOURCE,
+            deps=tuple(combine_deps),
+            elements=shape.elements,
+            flops_per_element=2.0 * layer.top_k,
+            **base,
+        )
+    )
+    return invocations
+
+
 def lower_graph(
     graph: LayerGraph,
     design: Union[DesignKind, DesignConfig],
@@ -273,6 +425,8 @@ def lower_graph(
             ]
         elif isinstance(layer, AttentionLayer):
             lowered = _lower_attention(layer, graph, config, deps, dtype)
+        elif isinstance(layer, MoeFfnLayer):
+            lowered = _lower_moe(layer, graph, config, small_design, deps, dtype)
         elif isinstance(layer, (ElementwiseLayer, NormLayer)):
             if layer.flops_per_element <= 0:
                 # Zero-cost bookkeeping nodes (views/slices) lower to nothing;

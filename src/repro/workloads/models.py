@@ -1,10 +1,15 @@
 """Model zoo: build full layer graphs from a handful of hyperparameters.
 
-Three families cover the scenario space the evaluation cares about:
+Four families cover the scenario space the evaluation cares about:
 
 * GPT-style decoder blocks, with the **prefill** phase (full-sequence causal
   attention) and the **decode** phase (one query token against a long KV
   context) built as separate graphs, since their kernel mixes differ sharply;
+* Mixtral-style **MoE decoders**: the same attention sublayers, but every
+  dense FFN replaced by an expert-parallel routed mixture
+  (:class:`~repro.workloads.graph.MoeFfnLayer`) whose independent expert
+  GEMM pairs give the scheduler a graph wide enough to keep the matrix and
+  SIMT units busy simultaneously;
 * BERT-style encoder blocks (bidirectional attention, no mask);
 * a GEMM-chain baseline (an MLP / im2col-style CNN stand-in) that exercises
   the matrix-unit path with no attention at all.
@@ -25,6 +30,8 @@ from repro.workloads.graph import (
     ElementwiseLayer,
     LayerGraph,
     LinearLayer,
+    MoeBlock,
+    MoeFfnLayer,
     NormLayer,
     TensorShape,
 )
@@ -53,6 +60,11 @@ class ModelSpec:
     ffn_mult: int = 4
     phase: str = "prefill"
     context_len: int = 0  # decode-phase KV length; 0 = seq_len
+    # Mixture-of-experts hyperparameters (family "moe"; ignored elsewhere).
+    experts: int = 0  # 0 = dense FFN
+    top_k: int = 2
+    capacity_factor: float = 1.0
+    shared_experts: int = 0  # DeepSeek-style always-on dense experts
 
     def __post_init__(self) -> None:
         if self.hidden % self.heads != 0:
@@ -61,6 +73,12 @@ class ModelSpec:
             )
         if self.batch <= 0 or self.seq_len <= 0 or self.blocks <= 0:
             raise ValueError("batch, seq_len and blocks must be positive")
+        if self.family == "moe" and self.experts <= 0:
+            raise ValueError("moe models need a positive expert count")
+        if self.experts and not 0 < self.top_k <= self.experts:
+            raise ValueError(
+                f"top_k ({self.top_k}) must be in 1..experts ({self.experts})"
+            )
 
     @property
     def head_dim(self) -> int:
@@ -91,8 +109,15 @@ def _transformer_block(
     phase: str,
     causal: bool,
     kv_seq: int,
+    moe: bool = False,
 ) -> str:
-    """Append one pre-norm transformer block; returns the output layer name."""
+    """Append one pre-norm transformer block; returns the output layer name.
+
+    ``moe=True`` replaces the dense FFN sublayer with an expert-parallel
+    :class:`~repro.workloads.graph.MoeFfnLayer` (or
+    :class:`~repro.workloads.graph.MoeBlock` when ``spec.shared_experts``
+    asks for always-on dense experts).
+    """
     prefix = f"block{index}"
     deps = (previous,) if previous else ()
 
@@ -152,6 +177,31 @@ def _transformer_block(
     )
 
     graph.add(NormLayer(name=f"{prefix}.ln2", deps=(f"{prefix}.residual1",), phase=phase))
+    if moe:
+        moe_kwargs = dict(
+            name=f"{prefix}.moe",
+            deps=(f"{prefix}.ln2",),
+            phase=phase,
+            in_features=spec.hidden,
+            expert_hidden=spec.ffn_hidden,
+            experts=spec.experts,
+            top_k=spec.top_k,
+            capacity_factor=spec.capacity_factor,
+            activation_flops=GELU_FLOPS,
+        )
+        if spec.shared_experts:
+            graph.add(MoeBlock(shared_experts=spec.shared_experts, **moe_kwargs))
+        else:
+            graph.add(MoeFfnLayer(**moe_kwargs))
+        graph.add(
+            ElementwiseLayer(
+                name=f"{prefix}.residual2",
+                deps=(f"{prefix}.moe", f"{prefix}.residual1"),
+                phase=phase,
+                flops_per_element=RESIDUAL_FLOPS,
+            )
+        )
+        return f"{prefix}.residual2"
     graph.add(
         LinearLayer(
             name=f"{prefix}.ffn_up",
@@ -235,6 +285,37 @@ def gpt_decoder(spec: ModelSpec) -> LayerGraph:
     return graph
 
 
+def moe_decoder(spec: ModelSpec) -> LayerGraph:
+    """Mixtral-style decoder: GPT attention sublayers + expert-parallel FFNs.
+
+    Every block's dense FFN is replaced by a routed mixture of
+    ``spec.experts`` experts (``spec.top_k`` active per token,
+    ``spec.capacity_factor`` padding); ``spec.shared_experts`` adds
+    DeepSeek-style always-on dense experts.  Decode-phase specs want
+    ``batch * top_k >= experts`` so every expert is active and the emitted
+    kernel graph is as wide as the expert count.
+    """
+    decode = spec.phase == "decode"
+    seq = 1 if decode else spec.seq_len
+    kv_seq = (spec.context_len or spec.seq_len) if decode else 0
+    shape = TensorShape(batch=spec.batch, seq=seq, features=spec.hidden)
+    graph = LayerGraph(f"moe-{spec.phase}", shape)
+    previous = ""
+    for index in range(spec.blocks):
+        previous = _transformer_block(
+            graph,
+            spec,
+            index,
+            previous,
+            phase=spec.phase,
+            causal=not decode,
+            kv_seq=kv_seq,
+            moe=True,
+        )
+    graph.add(NormLayer(name="final_ln", deps=(previous,), phase=spec.phase))
+    return graph
+
+
 def bert_encoder(spec: ModelSpec) -> LayerGraph:
     """BERT-style bidirectional encoder: full-sequence attention, no mask."""
     shape = TensorShape(batch=spec.batch, seq=spec.seq_len, features=spec.hidden)
@@ -288,6 +369,7 @@ def gemm_chain(spec: ModelSpec) -> LayerGraph:
 #: model run completes in seconds while still spanning dozens of kernels.
 _BUILDERS: Dict[str, Callable[[ModelSpec], LayerGraph]] = {
     "gpt": gpt_decoder,
+    "moe": moe_decoder,
     "bert": bert_encoder,
     "mlp": gemm_chain,
 }
@@ -303,6 +385,26 @@ MODEL_ZOO: Dict[str, ModelSpec] = {
                                blocks=2, heads=12),
     "mlp-chain": ModelSpec(family="mlp", phase="forward", seq_len=64, hidden=1024,
                            blocks=4, heads=8),
+    # Mixtral-style expert-parallel variants.  Decode batches are sized so
+    # batch * top_k >= experts: every expert is active and the lowered graph
+    # is as wide as the expert count (the dual-unit overlap showcase).
+    "moe-prefill": ModelSpec(family="moe", phase="prefill", seq_len=256, hidden=512,
+                             blocks=2, heads=8, experts=8, top_k=2),
+    "moe-decode": ModelSpec(family="moe", phase="decode", batch=4, seq_len=256,
+                            hidden=512, blocks=2, heads=8, context_len=1024,
+                            experts=8, top_k=2),
+    "moe-decode-16x2": ModelSpec(family="moe", phase="decode", batch=8, seq_len=256,
+                                 hidden=512, blocks=2, heads=8, context_len=1024,
+                                 experts=16, top_k=2),
+    "moe-decode-top1": ModelSpec(family="moe", phase="decode", batch=8, seq_len=256,
+                                 hidden=512, blocks=2, heads=8, context_len=1024,
+                                 experts=8, top_k=1),
+    "moe-prefill-cap15": ModelSpec(family="moe", phase="prefill", seq_len=256,
+                                   hidden=512, blocks=2, heads=8, experts=8,
+                                   top_k=2, capacity_factor=1.5),
+    "moe-shared-decode": ModelSpec(family="moe", phase="decode", batch=4, seq_len=256,
+                                   hidden=512, blocks=2, heads=8, context_len=1024,
+                                   experts=8, top_k=2, shared_experts=1),
 }
 
 
