@@ -36,15 +36,23 @@ __version__ = "1.0.0"
 from repro.workloads import (
     ModelRunResult,
     ModelSpec,
+    RequestSpec,
+    ServingRunResult,
+    ServingTrace,
     run_batch,
     run_model,
+    run_serving,
 )
 
 __all__ = [
     "ModelRunResult",
     "ModelSpec",
+    "RequestSpec",
+    "ServingRunResult",
+    "ServingTrace",
     "run_batch",
     "run_model",
+    "run_serving",
     "DesignKind",
     "make_design",
     "volta_style",

@@ -11,6 +11,7 @@ Examples
     python -m repro model --name gpt-prefill --design virgo
     python -m repro model --name moe-decode --design virgo --hetero --moe-breakdown
     python -m repro model --batch --names gpt-prefill,gpt-decode --designs virgo,ampere
+    python -m repro serve --trace poisson-mixed --latency-report
 """
 
 from __future__ import annotations
@@ -44,11 +45,26 @@ from repro.analysis.model_breakdown import (
     model_layer_rows,
     model_phase_summary,
 )
+from repro.analysis.serving import (
+    REQUEST_HEADERS,
+    format_latency_report,
+    serving_latency_report,
+    serving_request_rows,
+)
 from repro.config.presets import DesignKind
 from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heterogeneous
 from repro.perf import timing_cache
 from repro.runner import run_flash_attention, run_gemm
-from repro.workloads import model_names, resolve_spec, run_batch, run_model, sweep_jobs
+from repro.workloads import (
+    model_names,
+    resolve_spec,
+    resolve_trace,
+    run_batch,
+    run_model,
+    run_serving,
+    sweep_jobs,
+    trace_names,
+)
 
 
 def _design_from_name(name: str) -> DesignKind:
@@ -166,8 +182,8 @@ def _cmd_model(args: argparse.Namespace) -> None:
                 resolve_spec(name)
             except KeyError as error:
                 raise SystemExit(error.args[0]) from error
-        jobs = sweep_jobs(names, designs, heterogeneous=args.hetero)
         try:
+            jobs = sweep_jobs(names, designs, heterogeneous=args.hetero)
             report = run_batch(jobs, cache_dir=args.cache_dir, max_workers=args.workers)
         except (KeyError, ValueError) as error:
             message = error.args[0] if error.args else str(error)
@@ -223,6 +239,62 @@ def _cmd_model(args: argparse.Namespace) -> None:
     stats = result.timing_cache
     print(
         f"\ntiming cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses "
+        f"({len(timing_cache())} entries in process)"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    if args.list:
+        for name in trace_names():
+            trace = resolve_trace(name)
+            families = sorted({request.model.family for request in trace.requests})
+            last = max(request.arrival_cycle for request in trace.requests)
+            print(
+                f"{name:<16} requests={len(trace):<3} "
+                f"decode_steps={trace.total_decode_steps:<4} "
+                f"families={'/'.join(families):<12} "
+                f"arrivals=0..{last:,} bucket={trace.context_bucket}"
+            )
+        return
+
+    kind = _design_from_name(args.design)
+    try:
+        result = run_serving(args.trace, kind, heterogeneous=args.hetero)
+    except (KeyError, ValueError) as error:
+        # Unknown trace name or an unsupported design/flag combination; both
+        # messages already name the valid choices.
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(message) from error
+
+    if args.json:
+        report = result.to_dict()
+        report["latency_report"] = serving_latency_report(result)
+        print(json.dumps(report, indent=2))
+        return
+
+    print(
+        f"{result.trace} on {result.design_name}"
+        + (" (heterogeneous dual unit)" if result.heterogeneous else "")
+        + f": {len(result.requests)} requests, {result.iteration_count} iterations, "
+        f"KV bucket {result.context_bucket}\n"
+    )
+    print(format_table(REQUEST_HEADERS, serving_request_rows(result)))
+    print()
+    if args.latency_report:
+        # The report's header line already carries makespan/batch/throughput.
+        print(format_latency_report(result))
+        print()
+        print(f"energy: {result.energy_uj:.1f} uJ")
+    else:
+        print(
+            f"makespan {result.total_cycles:,} cycles "
+            f"({result.serving_cycles:,} serving), mean batch {result.mean_batch:.2f}, "
+            f"{result.tokens_per_kilocycle:.2f} tokens/kcycle, "
+            f"{result.energy_uj:.1f} uJ"
+        )
+    stats = result.timing_cache
+    print(
+        f"timing cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses "
         f"({len(timing_cache())} entries in process)"
     )
 
@@ -287,6 +359,32 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--workers", type=int, default=None,
                        help="process-pool size for --batch (default: cpu count)")
     model.set_defaults(func=_cmd_model)
+
+    serve = sub.add_parser(
+        "serve",
+        help="continuous-batch a serving trace (see repro.workloads.serving)",
+        description=(
+            "Run a stream of decode-phase requests (GPT/GQA/MoE mixes with "
+            "arrival cycles, prompt lengths and decode budgets) through the "
+            "iteration-level continuous-batching scheduler: every in-flight "
+            "request's next decode step is merged into one kernel schedule, "
+            "so independent requests overlap on the matrix and SIMT units.  "
+            "Reports per-request latency, time to first token and queueing "
+            "delay."
+        ),
+    )
+    serve.add_argument("--trace", default="poisson-mixed",
+                       help="serving-trace zoo entry (see --list)")
+    serve.add_argument("--design", default="virgo", help="volta | ampere | hopper | virgo")
+    serve.add_argument("--hetero", action="store_true",
+                       help="serve on the dual-matrix-unit configuration")
+    serve.add_argument("--latency-report", action="store_true",
+                       help="print p50/p95/p99 latency, TTFT and queueing percentiles")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the full JSON serving report")
+    serve.add_argument("--list", action="store_true",
+                       help="list the serving-trace zoo and exit")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -37,6 +37,13 @@ from repro.analysis.model_breakdown import (
     model_overlap_report,
     model_phase_summary,
 )
+from repro.analysis.serving import (
+    format_latency_report,
+    latency_summary,
+    percentile,
+    serving_latency_report,
+    serving_request_rows,
+)
 
 __all__ = [
     "compare_models",
@@ -46,6 +53,11 @@ __all__ = [
     "model_kind_cycles",
     "model_layer_rows",
     "model_phase_summary",
+    "format_latency_report",
+    "latency_summary",
+    "percentile",
+    "serving_latency_report",
+    "serving_request_rows",
     "granularity_ablation",
     "accumulator_placement_ablation",
     "unified_unit_ablation",

@@ -1,0 +1,133 @@
+"""Latency analysis for continuous-batching serving runs.
+
+Consumes a :class:`repro.workloads.serving.ServingRunResult` and produces the
+per-request latency report the CLI ``serve`` subcommand prints: p50/p95/p99
+end-to-end latency, time to first token, queueing delay, decode throughput
+and per-unit occupancy under load -- the serving-scale analogue of the
+per-model breakdown in :mod:`repro.analysis.model_breakdown`.
+
+Percentiles use the nearest-rank definition (the smallest value with at
+least ``p`` percent of the sample at or below it): deterministic, exact on
+the small request counts serving traces carry, and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.workloads.serving import ServingRunResult
+
+REQUEST_HEADERS = [
+    "request",
+    "model",
+    "arrival",
+    "queue",
+    "TTFT",
+    "latency",
+    "steps",
+]
+
+#: The percentiles every latency summary reports.
+PERCENTILES = (50, 95, 99)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (p in 0..100, values non-empty)."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {p}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 plus mean and max of one metric across requests."""
+    return {
+        **{f"p{p}": percentile(values, p) for p in PERCENTILES},
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
+def serving_latency_report(result: ServingRunResult) -> Dict[str, object]:
+    """The full latency report: percentiles per metric plus load metrics.
+
+    ``unit_occupancy_percent`` is each resource's busy share of the *serving*
+    span (iterations only, arrival gaps excluded), so it reports occupancy
+    under load rather than diluting it with trace idle time.
+    """
+    latencies = [float(request.latency_cycles) for request in result.requests]
+    ttfts = [float(request.ttft_cycles) for request in result.requests]
+    queueing = [float(request.queueing_cycles) for request in result.requests]
+    serving_span = max(1, result.serving_cycles)
+    return {
+        "kind": "serving_latency",
+        "trace": result.trace,
+        "design": result.design_name,
+        "heterogeneous": result.heterogeneous,
+        "requests": len(result.requests),
+        "iterations": result.iteration_count,
+        "makespan_cycles": result.total_cycles,
+        "serving_cycles": result.serving_cycles,
+        "decode_steps": result.decode_steps_executed,
+        "mean_batch": result.mean_batch,
+        "tokens_per_kilocycle": result.tokens_per_kilocycle,
+        "latency_cycles": latency_summary(latencies),
+        "ttft_cycles": latency_summary(ttfts),
+        "queueing_cycles": latency_summary(queueing),
+        "unit_occupancy_percent": {
+            resource: 100.0 * busy / serving_span
+            for resource, busy in sorted(result.resource_busy.items())
+        },
+    }
+
+
+def serving_request_rows(result: ServingRunResult) -> List[List[str]]:
+    """One formatted row per request for the CLI table."""
+    return [
+        [
+            request.request_id,
+            request.model_family,
+            f"{request.arrival_cycle:,}",
+            f"{request.queueing_cycles:,}",
+            f"{request.ttft_cycles:,}",
+            f"{request.latency_cycles:,}",
+            str(request.decode_steps),
+        ]
+        for request in result.requests
+    ]
+
+
+def format_latency_report(result: ServingRunResult) -> str:
+    """Human-readable latency report for the CLI ``--latency-report`` flag."""
+    report = serving_latency_report(result)
+
+    def line(metric: str, summary: Dict[str, float]) -> str:
+        return (
+            f"{metric}: p50 {summary['p50']:,.0f}  p95 {summary['p95']:,.0f}  "
+            f"p99 {summary['p99']:,.0f}  mean {summary['mean']:,.0f}  "
+            f"max {summary['max']:,.0f} cycles"
+        )
+
+    occupancy = "  ".join(
+        f"{resource} {percent:.1f}%"
+        for resource, percent in report["unit_occupancy_percent"].items()
+    )
+    return "\n".join(
+        [
+            (
+                f"{report['requests']} requests over {report['iterations']} iterations: "
+                f"makespan {report['makespan_cycles']:,} cycles "
+                f"({report['serving_cycles']:,} serving), "
+                f"mean batch {report['mean_batch']:.2f}, "
+                f"{report['tokens_per_kilocycle']:.2f} tokens/kcycle"
+            ),
+            line("latency", report["latency_cycles"]),
+            line("ttft", report["ttft_cycles"]),
+            line("queueing", report["queueing_cycles"]),
+            f"unit occupancy (serving span): {occupancy}",
+        ]
+    )

@@ -17,10 +17,16 @@ Pipeline
    GEMM / FlashAttention / SIMT kernel models, schedules the resulting
    dependency graph on the cluster's resources, and aggregates a
    :class:`~repro.workloads.lowering.ModelRunResult`;
-4. :mod:`repro.workloads.batch` -- fans (model, design) sweeps over a
-   process pool with a content-hashed on-disk JSON result cache
-   (:func:`~repro.workloads.batch.moe_sweep_jobs` crosses the MoE routing
-   knobs: experts x top-k x capacity factor x design x unit config).
+4. :mod:`repro.workloads.serving` -- iteration-level continuous batching
+   over :class:`~repro.workloads.graph.ServingTrace` request streams: every
+   in-flight request's next decode step is merged into one kernel schedule
+   per iteration, so independent requests overlap on the matrix/SIMT units
+   and per-request latency percentiles fall out of the placement;
+5. :mod:`repro.workloads.batch` -- fans (model, design) and (trace, design)
+   sweeps over a process pool with a content-hashed on-disk JSON result
+   cache (:func:`~repro.workloads.batch.moe_sweep_jobs` crosses the MoE
+   routing knobs, :func:`~repro.workloads.batch.serving_sweep_jobs` the
+   serving batch mixes).
 
 Per-kernel timings flow through the process-wide timing cache
 (:mod:`repro.perf`; per-run hit/miss stats land in
@@ -42,6 +48,7 @@ From the command line::
     python -m repro model --name moe-decode --design virgo --hetero --moe-breakdown
     python -m repro model --batch --names gpt-prefill,gpt-decode \\
         --designs virgo,ampere --cache-dir /tmp/repro-cache
+    python -m repro serve --trace poisson-mixed --latency-report
 """
 
 from repro.workloads.graph import (
@@ -54,19 +61,28 @@ from repro.workloads.graph import (
     MoeBlock,
     MoeFfnLayer,
     NormLayer,
+    RequestSpec,
+    ServingTrace,
     TensorShape,
 )
 from repro.workloads.models import (
     MODEL_ZOO,
+    REQUEST_MODELS,
+    TRACE_ZOO,
     ModelSpec,
     bert_encoder,
     build_model,
+    bursty_trace,
     gemm_chain,
     gpt_decoder,
     model_names,
     moe_decoder,
+    poisson_trace,
     resolve_spec,
+    resolve_trace,
     scaled_spec,
+    trace_names,
+    uniform_trace,
 )
 from repro.workloads.lowering import (
     KernelInvocation,
@@ -75,15 +91,24 @@ from repro.workloads.lowering import (
     ModelRunResult,
     execute_schedule,
     lower_graph,
+    merge_schedules,
     run_model,
+)
+from repro.workloads.serving import (
+    RequestResult,
+    ServingRunResult,
+    ServingScheduler,
+    run_serving,
 )
 from repro.workloads.batch import (
     BatchJob,
     BatchOutcome,
     BatchReport,
     ResultCache,
+    ServingJob,
     moe_sweep_jobs,
     run_batch,
+    serving_sweep_jobs,
     sweep_jobs,
 )
 
@@ -97,29 +122,45 @@ __all__ = [
     "MoeBlock",
     "MoeFfnLayer",
     "NormLayer",
+    "RequestSpec",
+    "ServingTrace",
     "TensorShape",
     "MODEL_ZOO",
+    "REQUEST_MODELS",
+    "TRACE_ZOO",
     "ModelSpec",
     "bert_encoder",
     "build_model",
+    "bursty_trace",
     "gemm_chain",
     "gpt_decoder",
     "model_names",
     "moe_decoder",
+    "poisson_trace",
     "resolve_spec",
+    "resolve_trace",
     "scaled_spec",
+    "trace_names",
+    "uniform_trace",
     "KernelInvocation",
     "KernelSchedule",
     "LayerRunResult",
     "ModelRunResult",
     "execute_schedule",
     "lower_graph",
+    "merge_schedules",
     "run_model",
+    "RequestResult",
+    "ServingRunResult",
+    "ServingScheduler",
+    "run_serving",
     "BatchJob",
     "BatchOutcome",
     "BatchReport",
     "ResultCache",
+    "ServingJob",
     "moe_sweep_jobs",
     "run_batch",
+    "serving_sweep_jobs",
     "sweep_jobs",
 ]

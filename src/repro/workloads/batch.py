@@ -38,13 +38,17 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from repro import __version__
 from repro.config.soc import DataType
 from repro.perf import timing_cache
-from repro.workloads.models import ModelSpec, resolve_spec, scaled_spec
+from repro.workloads.graph import ServingTrace
+from repro.workloads.models import ModelSpec, resolve_spec, resolve_trace, scaled_spec
 from repro.workloads.lowering import run_model
+from repro.workloads.serving import run_serving
 
 #: Bump to invalidate every cache entry when the timing models change shape.
 #: 2: ModelSpec grew the MoE hyperparameters (experts/top_k/capacity_factor/
 #: shared_experts), which widen the hashed spec payload.
-CACHE_SCHEMA_VERSION = 2
+#: 3: serving jobs joined the cache namespace (ServingJob hashes a whole
+#: trace payload) and job payloads grew a "kind" discriminator.
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -88,7 +92,49 @@ class BatchJob:
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "version": __version__,
+            "kind": "model",
             "spec": self.spec.to_dict(),
+            "design": self.design.lower(),
+            "heterogeneous": self.heterogeneous,
+            "dtype": self.dtype.lower(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ServingJob:
+    """One (trace, design) cell of a serving sweep.
+
+    ``trace`` is a trace-zoo name or an explicit :class:`ServingTrace`; the
+    content hash covers the *resolved* trace -- every request's arrival,
+    prompt length, decode budget and full model spec -- so two jobs naming
+    the same stream share a cache entry regardless of spelling, and any
+    change to the trace content invalidates exactly its own entries.
+    """
+
+    trace: Union[str, ServingTrace]
+    design: str = "virgo"
+    heterogeneous: bool = False
+    dtype: str = "fp16"
+
+    @cached_property
+    def resolved(self) -> ServingTrace:
+        """The resolved trace; zoo names are looked up once per job."""
+        return resolve_trace(self.trace) if isinstance(self.trace, str) else self.trace
+
+    @property
+    def label(self) -> str:
+        suffix = "+hetero" if self.heterogeneous else ""
+        return f"serve:{self.resolved.name}@{self.design}{suffix}"
+
+    def key(self) -> str:
+        """Content hash identifying this job's result."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "kind": "serving",
+            "trace": self.resolved.to_dict(),
             "design": self.design.lower(),
             "heterogeneous": self.heterogeneous,
             "dtype": self.dtype.lower(),
@@ -143,7 +189,7 @@ class ResultCache:
 class BatchOutcome:
     """One job's result plus where it came from."""
 
-    job: BatchJob
+    job: Union[BatchJob, "ServingJob"]
     result: Dict[str, object]
     from_cache: bool
 
@@ -166,9 +212,13 @@ class BatchReport:
         return [outcome.result for outcome in self.outcomes]
 
 
-def _execute_job(job: BatchJob) -> Dict[str, object]:
-    """Process-pool worker: run one model end to end, return the dict encoding."""
+def _execute_job(job: Union[BatchJob, "ServingJob"]) -> Dict[str, object]:
+    """Process-pool worker: run one job end to end, return the dict encoding."""
     dtype = DataType[job.dtype.upper()]
+    if isinstance(job, ServingJob):
+        return run_serving(
+            job.resolved, job.design, heterogeneous=job.heterogeneous, dtype=dtype
+        ).to_dict()
     result = run_model(
         job.spec, job.design, heterogeneous=job.heterogeneous, dtype=dtype
     )
@@ -181,11 +231,12 @@ def _seed_worker_cache(entries: Mapping[str, Any]) -> None:
 
 
 def run_batch(
-    jobs: Sequence[BatchJob],
+    jobs: Sequence[Union[BatchJob, ServingJob]],
     cache_dir: Union[str, Path, None] = None,
     max_workers: Optional[int] = None,
 ) -> BatchReport:
-    """Run ``jobs``, reusing cached results and computing misses in parallel.
+    """Run ``jobs`` (model and/or serving), reusing cached results and
+    computing misses in parallel.
 
     ``cache_dir=None`` disables caching.  ``max_workers`` <= 1 runs misses
     inline (useful under test and on platforms without fork); otherwise the
@@ -244,6 +295,28 @@ def run_batch(
     return report
 
 
+def _reject_duplicate_cells(jobs: List) -> List:
+    """Fail loudly when a sweep contains two jobs with identical content.
+
+    Duplicate cells used to be silently absorbed by the result cache (the
+    second cell is a guaranteed hit), so a sweep advertised as N cells could
+    measure fewer than N distinct configurations.  Comparing content hashes
+    catches duplicates however they were spelled (zoo name vs. explicit
+    spec, repeated values in a knob range).
+    """
+    seen: Dict[str, str] = {}
+    for job in jobs:
+        key = job.key()
+        if key in seen:
+            raise ValueError(
+                f"duplicate sweep cell {job.label!r}: same content as "
+                f"{seen[key]!r}; drop the repeated value so reported sweep "
+                f"sizes count distinct configurations"
+            )
+        seen[key] = job.label
+    return jobs
+
+
 def sweep_jobs(
     models: Sequence[Union[str, ModelSpec]],
     designs: Sequence[str],
@@ -254,15 +327,43 @@ def sweep_jobs(
     ``heterogeneous`` may be a single flag (the default, applied to every
     job) or a sequence of flags to cross into the sweep -- e.g.
     ``(False, True)`` runs every (model, design) cell with the single- and
-    dual-unit configurations in one call.
+    dual-unit configurations in one call.  Two cells with identical content
+    (the same resolved spec, design and flags) raise ``ValueError`` rather
+    than being silently deduplicated by the result cache.
     """
     flags = [heterogeneous] if isinstance(heterogeneous, bool) else list(heterogeneous)
-    return [
-        BatchJob(model=model, design=design, heterogeneous=flag)
-        for model in models
-        for design in designs
-        for flag in flags
-    ]
+    return _reject_duplicate_cells(
+        [
+            BatchJob(model=model, design=design, heterogeneous=flag)
+            for model in models
+            for design in designs
+            for flag in flags
+        ]
+    )
+
+
+def serving_sweep_jobs(
+    traces: Sequence[Union[str, ServingTrace]] = ("poisson-mixed",),
+    designs: Sequence[str] = ("virgo",),
+    heterogeneous: Union[bool, Sequence[bool]] = (False, True),
+) -> List[ServingJob]:
+    """The (trace x design x unit-config) serving sweep as a job list.
+
+    Each cell continuous-batches one request stream on one design; crossing
+    the ``heterogeneous`` flags compares single- vs dual-matrix-unit serving
+    under identical load.  Batch mixes are expressed as traces (the trace
+    zoo's arrival families over different request-model mixes), so sweeping
+    mixes means sweeping traces.  Duplicate cells raise ``ValueError``.
+    """
+    flags = [heterogeneous] if isinstance(heterogeneous, bool) else list(heterogeneous)
+    return _reject_duplicate_cells(
+        [
+            ServingJob(trace=trace, design=design, heterogeneous=flag)
+            for trace in traces
+            for design in designs
+            for flag in flags
+        ]
+    )
 
 
 def moe_sweep_jobs(
@@ -281,7 +382,9 @@ def moe_sweep_jobs(
     cell overrides the knobs via :func:`scaled_spec`, so the batch runner's
     content hash distinguishes every combination.  Infeasible cells
     (``top_k > experts``) are skipped rather than raised, which lets callers
-    pass rectangular ranges.
+    pass rectangular ranges; cells with identical content (e.g. a repeated
+    value in a knob range) raise ``ValueError`` instead of silently
+    shrinking the measured sweep.
     """
     base_spec = resolve_spec(base) if isinstance(base, str) else base
     if base_spec.family != "moe":
@@ -290,18 +393,20 @@ def moe_sweep_jobs(
             f"family={base_spec.family!r} (the MoE knobs would be ignored)"
         )
     flags = [heterogeneous] if isinstance(heterogeneous, bool) else list(heterogeneous)
-    return [
-        BatchJob(
-            model=scaled_spec(
-                base_spec, experts=count, top_k=top_k, capacity_factor=factor
-            ),
-            design=design,
-            heterogeneous=flag,
-        )
-        for count in experts
-        for top_k in top_ks
-        if top_k <= count
-        for factor in capacity_factors
-        for design in designs
-        for flag in flags
-    ]
+    return _reject_duplicate_cells(
+        [
+            BatchJob(
+                model=scaled_spec(
+                    base_spec, experts=count, top_k=top_k, capacity_factor=factor
+                ),
+                design=design,
+                heterogeneous=flag,
+            )
+            for count in experts
+            for top_k in top_ks
+            if top_k <= count
+            for factor in capacity_factors
+            for design in designs
+            for flag in flags
+        ]
+    )

@@ -25,6 +25,14 @@ lowering pass expands it into a router/dispatch prologue, one independent
 GEMM pair per active expert and a combine epilogue.  Keeping the fan-out
 implicit at the IR level means shape inference stays per-node while the
 emitted kernel schedule is as wide as the expert count.
+
+Above single model graphs sits the serving-trace layer: a
+:class:`RequestSpec` is a decode-phase model instance with an arrival cycle
+and a lifetime in decode steps, and a :class:`ServingTrace` is a named
+stream of such requests plus the KV-context bucketing policy.  The
+continuous-batching scheduler in :mod:`repro.workloads.serving` consumes
+traces and lowers every in-flight request's next decode step into one merged
+kernel schedule per iteration.
 """
 
 from __future__ import annotations
@@ -32,7 +40,10 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoid a circular import; models.py imports this module
+    from repro.workloads.models import ModelSpec
 
 
 class LayerKind(enum.Enum):
@@ -420,3 +431,129 @@ class LayerGraph:
             f"LayerGraph({self.name!r}, {len(self)} layers, "
             f"input={self.input_shape.batch}x{self.input_shape.seq}x{self.input_shape.features})"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Serving traces: the time-multiplexed layer above single model graphs
+# --------------------------------------------------------------------------- #
+
+#: Model families whose builders emit a decode-phase graph; only these can be
+#: driven one decode step at a time by the serving scheduler.
+DECODE_FAMILIES = ("gpt", "moe")
+
+
+def bucket_context(context: int, bucket: int) -> int:
+    """Round a KV context length up to the page granularity ``bucket``.
+
+    The single definition of the paged-KV rounding policy: both the batched
+    serving run and the isolated baseline must bucket identically, or the
+    merged-vs-isolated comparisons would measure the policy, not scheduling.
+    """
+    return ((context + bucket - 1) // bucket) * bucket
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One serving request: a decode-phase model instance with a lifetime.
+
+    ``model`` carries every hyperparameter of the request's network (family,
+    hidden size, head layout, MoE routing knobs); the serving scheduler
+    re-derives the per-step graph from it with ``phase="decode"`` and a
+    context length of ``prompt_len`` plus the decode steps completed so far.
+    ``arrival_cycle`` is when the request enters the system; it joins the
+    batch at the next iteration boundary (iteration-level continuous
+    batching), and runs for exactly ``decode_steps`` decode iterations.
+    """
+
+    request_id: str
+    model: "ModelSpec"
+    arrival_cycle: int = 0
+    prompt_len: int = 128
+    decode_steps: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ValueError("requests need a non-empty request_id")
+        if "/" in self.request_id:
+            # The id becomes the request's "<id>/" kernel namespace in merged
+            # schedules; a "/" inside it would let one id be a string-prefix
+            # of another's namespace and misattribute layers across requests.
+            raise ValueError(
+                f"request id {self.request_id!r} must not contain '/'"
+            )
+        if self.arrival_cycle < 0:
+            raise ValueError(f"request {self.request_id!r} needs arrival_cycle >= 0")
+        if self.prompt_len <= 0 or self.decode_steps <= 0:
+            raise ValueError(
+                f"request {self.request_id!r} needs positive prompt_len and decode_steps"
+            )
+        if self.model.family not in DECODE_FAMILIES:
+            raise ValueError(
+                f"request {self.request_id!r}: family {self.model.family!r} has no "
+                f"decode phase; serving requests must be one of {DECODE_FAMILIES}"
+            )
+
+    def context_at(self, steps_done: int) -> int:
+        """KV context length the given decode step attends over."""
+        return self.prompt_len + steps_done
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "arrival_cycle": self.arrival_cycle,
+            "prompt_len": self.prompt_len,
+            "decode_steps": self.decode_steps,
+            "model": self.model.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class ServingTrace:
+    """A named stream of requests plus the KV-context bucketing policy.
+
+    ``context_bucket`` rounds every step's KV length up to a multiple of the
+    bucket (a paged-KV-cache model): nearby context lengths share one kernel
+    shape, so the timing cache converges to a small working set instead of
+    simulating a fresh GEMM per token position.
+    """
+
+    name: str
+    requests: Tuple[RequestSpec, ...]
+    context_bucket: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError(f"trace {self.name!r} needs at least one request")
+        if self.context_bucket <= 0:
+            raise ValueError(f"trace {self.name!r} needs a positive context bucket")
+        seen = set()
+        for request in self.requests:
+            if request.request_id in seen:
+                raise ValueError(
+                    f"trace {self.name!r} has duplicate request id {request.request_id!r}"
+                )
+            seen.add(request.request_id)
+
+    def sorted_requests(self) -> Tuple[RequestSpec, ...]:
+        """Requests in arrival order (ties broken by id, deterministically)."""
+        return tuple(
+            sorted(self.requests, key=lambda r: (r.arrival_cycle, r.request_id))
+        )
+
+    def bucketed_context(self, context: int) -> int:
+        """Round ``context`` up to the trace's KV page granularity."""
+        return bucket_context(context, self.context_bucket)
+
+    @property
+    def total_decode_steps(self) -> int:
+        return sum(request.decode_steps for request in self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "context_bucket": self.context_bucket,
+            "requests": [request.to_dict() for request in self.requests],
+        }

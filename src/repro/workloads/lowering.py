@@ -42,8 +42,8 @@ this matches the coarse-grained fidelity of the rest of the timing stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config.presets import DesignKind, make_design
 from repro.config.soc import DataType, DesignConfig, IntegrationStyle
@@ -459,6 +459,68 @@ def lower_graph(
         heterogeneous=heterogeneous,
         small_design=small_design,
         ideal_mac_cycles=ideal,
+    )
+
+
+def _prefixed_invocation(inv: KernelInvocation, prefix: str) -> KernelInvocation:
+    """``inv`` renamed into ``prefix``'s namespace (name, layer and deps)."""
+    return replace(
+        inv,
+        name=prefix + inv.name,
+        layer=prefix + inv.layer,
+        deps=tuple(prefix + dep for dep in inv.deps if dep),
+    )
+
+
+def merge_schedules(
+    entries: Sequence[Tuple[str, KernelSchedule]],
+    model: str,
+) -> KernelSchedule:
+    """Merge independent per-request schedules into one iteration schedule.
+
+    ``entries`` pairs a namespace prefix (e.g. ``"r3/"``) with each request's
+    kernel schedule; prefixes must be distinct and every schedule must target
+    the same design configuration and unit layout.  No cross-request edges
+    are added -- the requests stay mutually independent, which is exactly
+    what lets the list scheduler co-run them on the matrix / small-matrix /
+    SIMT resources.
+
+    Invocations are interleaved round-robin by position rather than
+    concatenated: the list scheduler reserves resources in insertion order,
+    so position-aligned interleaving lets request j's SIMT kernels run under
+    request j+1's matrix-unit GEMMs instead of queueing whole requests back
+    to back (the same trick the MoE lowering plays with expert chains).
+    """
+    if not entries:
+        raise ValueError("merge_schedules needs at least one schedule")
+    prefixes = [prefix for prefix, _ in entries]
+    if len(set(prefixes)) != len(prefixes):
+        raise ValueError(f"merge prefixes must be distinct, got {prefixes}")
+    first = entries[0][1]
+    for _, schedule in entries[1:]:
+        if schedule.design != first.design:
+            raise ValueError("merged schedules must share one design configuration")
+        if (
+            schedule.heterogeneous != first.heterogeneous
+            or schedule.small_design != first.small_design
+        ):
+            raise ValueError("merged schedules must share the unit layout")
+
+    invocations: List[KernelInvocation] = []
+    depth = max(len(schedule.invocations) for _, schedule in entries)
+    for position in range(depth):
+        for prefix, schedule in entries:
+            if position < len(schedule.invocations):
+                invocations.append(
+                    _prefixed_invocation(schedule.invocations[position], prefix)
+                )
+    return KernelSchedule(
+        model=model,
+        design=first.design,
+        invocations=invocations,
+        heterogeneous=first.heterogeneous,
+        small_design=first.small_design,
+        ideal_mac_cycles=sum(schedule.ideal_mac_cycles for _, schedule in entries),
     )
 
 

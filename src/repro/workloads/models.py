@@ -18,12 +18,18 @@ All builders take a :class:`ModelSpec` so a design-space sweep can vary
 hidden size, depth, head layout (including GQA/MQA via ``kv_heads``),
 sequence length and batch from one record -- and so the batch runner can
 content-hash the exact workload it ran.
+
+The serving-trace zoo at the bottom of the module builds request *streams*
+for the continuous-batching scheduler (:mod:`repro.workloads.serving`):
+deterministic poisson / bursty / uniform arrival families over mixes of the
+decode-phase request presets in :data:`REQUEST_MODELS`.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import asdict, dataclass, replace
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.workloads.graph import (
     AttentionLayer,
@@ -33,6 +39,8 @@ from repro.workloads.graph import (
     MoeBlock,
     MoeFfnLayer,
     NormLayer,
+    RequestSpec,
+    ServingTrace,
     TensorShape,
 )
 
@@ -435,3 +443,150 @@ def build_model(spec_or_name) -> LayerGraph:
 def scaled_spec(base: ModelSpec, **overrides) -> ModelSpec:
     """A copy of ``base`` with hyperparameters overridden (sweep helper)."""
     return replace(base, **overrides)
+
+
+# --------------------------------------------------------------------------- #
+# Serving-trace zoo: request streams for the continuous-batching scheduler
+# --------------------------------------------------------------------------- #
+
+#: Per-request network presets.  Requests are single sequences (batch 1) and
+#: deliberately small -- a serving run executes one merged schedule per decode
+#: iteration, so the interesting structure is the request mix, not the size.
+REQUEST_MODELS: Dict[str, ModelSpec] = {
+    "gpt-request": ModelSpec(family="gpt", phase="decode", batch=1, seq_len=64,
+                             hidden=256, blocks=1, heads=4),
+    "gqa-request": ModelSpec(family="gpt", phase="decode", batch=1, seq_len=64,
+                             hidden=256, blocks=1, heads=4, kv_heads=1),
+    "moe-request": ModelSpec(family="moe", phase="decode", batch=1, seq_len=64,
+                             hidden=256, blocks=1, heads=4, experts=4, top_k=2),
+}
+
+
+def _cycle(values: Sequence, index: int):
+    return values[index % len(values)]
+
+
+def poisson_trace(
+    name: str,
+    models: Sequence[ModelSpec],
+    requests: int = 8,
+    mean_interarrival: float = 20_000.0,
+    prompt_lens: Sequence[int] = (64, 128, 256),
+    decode_steps: Sequence[int] = (3, 5, 8),
+    seed: int = 20250730,
+    context_bucket: int = 64,
+) -> ServingTrace:
+    """Poisson arrivals: exponential interarrival gaps from a seeded RNG.
+
+    Prompt lengths and decode budgets rotate deterministically through the
+    given menus so the trace content is a pure function of its arguments --
+    the batch runner content-hashes traces, so builders must be reproducible.
+    """
+    rng = random.Random(seed)
+    arrival = 0
+    specs = []
+    for index in range(requests):
+        arrival += int(rng.expovariate(1.0 / mean_interarrival))
+        specs.append(
+            RequestSpec(
+                request_id=f"r{index}",
+                model=_cycle(models, index),
+                arrival_cycle=arrival,
+                prompt_len=_cycle(prompt_lens, index),
+                decode_steps=_cycle(decode_steps, index),
+            )
+        )
+    return ServingTrace(name=name, requests=tuple(specs), context_bucket=context_bucket)
+
+
+def bursty_trace(
+    name: str,
+    models: Sequence[ModelSpec],
+    bursts: int = 3,
+    burst_size: int = 3,
+    burst_gap: int = 120_000,
+    prompt_lens: Sequence[int] = (64, 192),
+    decode_steps: Sequence[int] = (4, 6),
+    context_bucket: int = 64,
+) -> ServingTrace:
+    """Bursty arrivals: ``bursts`` groups of simultaneous requests, far apart.
+
+    Each burst lands at once (the co-residency stress case), then the system
+    drains before the next burst -- the trace family that exposes both the
+    deep-batch and the near-empty regimes in one run.
+    """
+    specs = []
+    for burst in range(bursts):
+        for slot in range(burst_size):
+            index = burst * burst_size + slot
+            specs.append(
+                RequestSpec(
+                    request_id=f"b{burst}.{slot}",
+                    model=_cycle(models, index),
+                    arrival_cycle=burst * burst_gap,
+                    prompt_len=_cycle(prompt_lens, index),
+                    decode_steps=_cycle(decode_steps, index),
+                )
+            )
+    return ServingTrace(name=name, requests=tuple(specs), context_bucket=context_bucket)
+
+
+def uniform_trace(
+    name: str,
+    models: Sequence[ModelSpec],
+    requests: int = 6,
+    interarrival: int = 15_000,
+    prompt_len: int = 128,
+    decode_steps: int = 4,
+    context_bucket: int = 64,
+) -> ServingTrace:
+    """Uniform arrivals: a fixed gap between requests (closed-loop clients)."""
+    specs = tuple(
+        RequestSpec(
+            request_id=f"u{index}",
+            model=_cycle(models, index),
+            arrival_cycle=index * interarrival,
+            prompt_len=prompt_len,
+            decode_steps=decode_steps,
+        )
+        for index in range(requests)
+    )
+    return ServingTrace(name=name, requests=specs, context_bucket=context_bucket)
+
+
+def _mixed_models() -> Tuple[ModelSpec, ...]:
+    return (
+        REQUEST_MODELS["gpt-request"],
+        REQUEST_MODELS["moe-request"],
+        REQUEST_MODELS["gqa-request"],
+    )
+
+
+TRACE_ZOO: Dict[str, ServingTrace] = {
+    # Poisson arrivals over a GPT/GQA/MoE decode mix: the headline scenario.
+    "poisson-mixed": poisson_trace("poisson-mixed", _mixed_models()),
+    # All requests at cycle 0: the offline / maximum-co-residency case the
+    # serving benchmark uses to measure merged-vs-isolated makespan.  Ten
+    # co-resident requests give the heterogeneous unit assignment enough
+    # granularity to fill the small unit's work budget.
+    "offline-mixed": bursty_trace(
+        "offline-mixed", _mixed_models(), bursts=1, burst_size=10
+    ),
+    "bursty-gpt": bursty_trace(
+        "bursty-gpt", (REQUEST_MODELS["gpt-request"], REQUEST_MODELS["gqa-request"])
+    ),
+    "uniform-moe": uniform_trace("uniform-moe", (REQUEST_MODELS["moe-request"],)),
+}
+
+
+def trace_names() -> List[str]:
+    return sorted(TRACE_ZOO)
+
+
+def resolve_trace(name: str) -> ServingTrace:
+    """Look up a trace-zoo entry, raising with the valid names on a miss."""
+    try:
+        return TRACE_ZOO[name]
+    except KeyError:
+        valid = ", ".join(trace_names())
+        raise KeyError(f"unknown trace {name!r}; choose one of: {valid}") from None

@@ -1,0 +1,462 @@
+"""Continuous-batching serving: time-multiplexed decode over merged schedules.
+
+This module adds the first *time-multiplexed* scheduling dimension to the
+workloads stack: requests enter and leave the kernel schedule mid-simulation.
+A :class:`~repro.workloads.graph.ServingTrace` supplies a stream of
+decode-phase requests (GPT / GQA / MoE mixes, arrival cycles, prompt lengths,
+decode budgets); the :class:`ServingScheduler` runs iteration-level
+continuous batching over it:
+
+1. at every iteration boundary, requests whose arrival cycle has passed join
+   the in-flight batch (queueing delay is the wait for that boundary);
+2. each in-flight request contributes its *next* decode step -- a one-token
+   model graph whose KV context is the prompt length plus the steps completed
+   so far, rounded up to the trace's ``context_bucket`` (a paged-KV model
+   that keeps the kernel-shape working set finite);
+3. the per-request step schedules are merged position-interleaved into one
+   kernel schedule (:func:`repro.workloads.lowering.merge_schedules`) and
+   executed on the taskgraph scheduler, so independent requests overlap
+   across the matrix units and SIMT cores exactly the way MoE expert chains
+   already do within a layer;
+4. requests that completed their decode budget retire; the clock advances by
+   the iteration makespan and the loop repeats until the trace drains.
+
+Every per-kernel simulation flows through the process-wide timing cache and
+the steady-state-compressed GEMM scheduler, and lowered per-step schedules
+are memoized per (model spec, bucketed context) within a run -- after the
+first few iterations a serving run is pure schedule assembly, no new kernel
+simulation.
+
+The result (:class:`ServingRunResult`) carries per-request records --
+arrival, admission, time to first token, finish -- from which the analysis
+layer (:mod:`repro.analysis.serving`) derives latency percentiles, TTFT,
+queueing delay and per-unit occupancy under load.
+
+>>> from repro.workloads import run_serving
+>>> result = run_serving("poisson-mixed", "virgo")
+>>> len(result.requests), result.iterations  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.config.presets import DesignKind, make_design
+from repro.config.soc import DataType, DesignConfig
+from repro.kernels.heterogeneous import small_unit_config
+from repro.workloads.graph import RequestSpec, ServingTrace, bucket_context
+from repro.workloads.lowering import (
+    MATRIX_RESOURCE,
+    SMALL_MATRIX_RESOURCE,
+    KernelSchedule,
+    execute_schedule,
+    lower_graph,
+    merge_schedules,
+)
+from repro.workloads.models import ModelSpec, build_model, resolve_trace, scaled_spec
+
+
+@dataclass
+class RequestResult:
+    """Lifecycle record of one request through a serving run.
+
+    All cycle stamps are absolute simulation cycles; derived metrics
+    (latency, TTFT, queueing delay) are properties so they can never drift
+    from the stamps they are defined by.
+    """
+
+    request_id: str
+    arrival_cycle: int
+    admitted_cycle: int
+    first_token_cycle: int
+    finish_cycle: int
+    prompt_len: int
+    decode_steps: int
+    model_family: str
+
+    @property
+    def latency_cycles(self) -> int:
+        """Arrival to last decode step retired: the end-to-end latency."""
+        return self.finish_cycle - self.arrival_cycle
+
+    @property
+    def ttft_cycles(self) -> int:
+        """Arrival to first decode step retired: time to first token."""
+        return self.first_token_cycle - self.arrival_cycle
+
+    @property
+    def queueing_cycles(self) -> int:
+        """Arrival to admission: the wait for an iteration boundary."""
+        return self.admitted_cycle - self.arrival_cycle
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "model_family": self.model_family,
+            "arrival_cycle": self.arrival_cycle,
+            "admitted_cycle": self.admitted_cycle,
+            "first_token_cycle": self.first_token_cycle,
+            "finish_cycle": self.finish_cycle,
+            "prompt_len": self.prompt_len,
+            "decode_steps": self.decode_steps,
+            "latency_cycles": self.latency_cycles,
+            "ttft_cycles": self.ttft_cycles,
+            "queueing_cycles": self.queueing_cycles,
+        }
+
+
+@dataclass
+class IterationRecord:
+    """One continuous-batching iteration: who ran, for how long."""
+
+    index: int
+    start_cycle: int
+    span_cycles: int
+    batch: int
+    request_ids: List[str]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "start_cycle": self.start_cycle,
+            "span_cycles": self.span_cycles,
+            "batch": self.batch,
+            "request_ids": list(self.request_ids),
+        }
+
+
+@dataclass
+class ServingRunResult:
+    """Outcome of one trace on one design under continuous batching.
+
+    ``total_cycles`` is the absolute end of the last iteration (the trace
+    makespan, including idle gaps while the system waits for arrivals);
+    ``serving_cycles`` sums only the iteration spans, i.e. cycles during
+    which at least one request was being decoded.
+    """
+
+    trace: str
+    design: DesignConfig
+    heterogeneous: bool
+    context_bucket: int
+    total_cycles: int
+    serving_cycles: int
+    requests: List[RequestResult]
+    iterations: List[IterationRecord]
+    kernel_count: int
+    energy_uj: float
+    resource_busy: Dict[str, int] = field(default_factory=dict)
+    #: Timing-cache activity attributable to this run; diagnostic only and
+    #: excluded from :meth:`to_dict` so the canonical encoding stays
+    #: byte-stable across cache states (same contract as ModelRunResult).
+    timing_cache: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def design_name(self) -> str:
+        return self.design.name
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def decode_steps_executed(self) -> int:
+        return sum(record.batch for record in self.iterations)
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.iterations:
+            return 0.0
+        return self.decode_steps_executed / len(self.iterations)
+
+    @property
+    def tokens_per_kilocycle(self) -> float:
+        """Decode throughput over the busy (serving) span."""
+        if self.serving_cycles <= 0:
+            return 0.0
+        return 1000.0 * self.decode_steps_executed / self.serving_cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "serving",
+            "trace": self.trace,
+            "design": self.design_name,
+            "heterogeneous": self.heterogeneous,
+            "context_bucket": self.context_bucket,
+            "total_cycles": self.total_cycles,
+            "serving_cycles": self.serving_cycles,
+            "iteration_count": self.iteration_count,
+            "decode_steps_executed": self.decode_steps_executed,
+            "mean_batch": self.mean_batch,
+            "tokens_per_kilocycle": self.tokens_per_kilocycle,
+            "kernel_count": self.kernel_count,
+            "energy_uj": self.energy_uj,
+            "resource_busy_cycles": dict(self.resource_busy),
+            "requests": [request.to_dict() for request in self.requests],
+            "iterations": [record.to_dict() for record in self.iterations],
+        }
+
+
+@dataclass
+class _InFlight:
+    """Mutable per-request state while the request is in the batch."""
+
+    request: RequestSpec
+    admitted_cycle: int
+    steps_done: int = 0
+    first_token_cycle: Optional[int] = None
+    finish_cycle: Optional[int] = None
+
+    @property
+    def prefix(self) -> str:
+        return f"{self.request.request_id}/"
+
+
+class ServingScheduler:
+    """Iteration-level continuous batching on one design configuration.
+
+    The scheduler is reusable across traces; it memoizes lowered per-step
+    schedules per (model spec, bucketed context), so repeated steps -- and
+    repeated *requests* with the same network -- cost schedule assembly, not
+    lowering, and their kernels resolve from the timing cache.
+    """
+
+    def __init__(
+        self,
+        design: Union[str, DesignKind, DesignConfig] = DesignKind.VIRGO,
+        heterogeneous: bool = False,
+        dtype: DataType = DataType.FP16,
+    ) -> None:
+        if isinstance(design, str):
+            design = DesignKind(design.lower())
+        self.design = make_design(design, dtype) if isinstance(design, DesignKind) else design
+        self.heterogeneous = heterogeneous
+        self.dtype = dtype
+        self._step_schedules: Dict[Tuple[ModelSpec, str], KernelSchedule] = {}
+        # Request-granular unit spreading, mirroring the MoE expert spread
+        # (see lowering._moe_expert_resource): with the default 4x throughput
+        # ratio, one request in five rides the half-size unit, so both matrix
+        # units draw down the decode batch concurrently.  The single-kernel
+        # heuristic (every small GEMM onto the small unit) would funnel the
+        # *entire* batch there -- in decode all GEMMs are small -- and leave
+        # the big unit idle.
+        self._unit_stride = 0
+        if heterogeneous:
+            large_mpc = self.design.matrix_unit.macs_per_cycle
+            small_mpc = max(1, small_unit_config(self.design.matrix_unit).macs_per_cycle)
+            self._unit_stride = max(2, round(large_mpc / small_mpc) + 1)
+
+    def iteration_units(
+        self, trace: ServingTrace, active: List[_InFlight]
+    ) -> List[str]:
+        """Per-iteration matrix-unit assignment for the active batch.
+
+        The small unit receives requests first-fit-decreasing under a work
+        budget of ``1/stride`` of the batch's total matrix work -- the
+        balance point at which both units finish together, given the small
+        unit is ``stride - 1`` times slower.  Re-deciding every iteration
+        (and budgeting by work, not request count) keeps two guarantees a
+        pin-for-life policy breaks: a request decoding in a small or
+        draining batch is never stranded on the slow unit while the big
+        unit idles (a lone request always exceeds the fractional budget),
+        and the small unit's busy time -- at most ``(stride-1)/stride`` of
+        the batch's total work -- stays below the sum of the isolated
+        makespans for every trace shape, with ``1/stride`` to spare.
+        """
+        units = [MATRIX_RESOURCE] * len(active)
+        if not self._unit_stride or len(active) < 2:
+            return units
+        work = [
+            (
+                self.step_schedule(
+                    state.request,
+                    trace.bucketed_context(state.request.context_at(state.steps_done)),
+                    MATRIX_RESOURCE,
+                ).ideal_mac_cycles,
+                state.request.request_id,
+                index,
+            )
+            for index, state in enumerate(active)
+        ]
+        budget = sum(estimate for estimate, _, _ in work) / self._unit_stride
+        filled = 0.0
+        for estimate, _, index in sorted(work, key=lambda item: (-item[0], item[1])):
+            if filled + estimate <= budget:
+                units[index] = SMALL_MATRIX_RESOURCE
+                filled += estimate
+        return units
+
+    def step_schedule(
+        self, request: RequestSpec, context: int, unit: str = MATRIX_RESOURCE
+    ) -> KernelSchedule:
+        """The (memoized) one-decode-step schedule at a bucketed context.
+
+        ``unit`` pins every matrix-unit kernel of the step onto one matrix
+        unit (requests, not kernels, are the parallelism grain in serving);
+        flash/SIMT kernels are unaffected.
+        """
+        spec = scaled_spec(request.model, phase="decode", context_len=context)
+        schedule = self._step_schedules.get((spec, unit))
+        if schedule is None:
+            schedule = lower_graph(
+                build_model(spec),
+                self.design,
+                heterogeneous=self.heterogeneous,
+                dtype=self.dtype,
+            )
+            if self.heterogeneous:
+                schedule = replace(
+                    schedule,
+                    invocations=[
+                        replace(inv, resource=unit)
+                        if inv.kind == "gemm"
+                        and inv.resource in (MATRIX_RESOURCE, SMALL_MATRIX_RESOURCE)
+                        else inv
+                        for inv in schedule.invocations
+                    ],
+                )
+            self._step_schedules[(spec, unit)] = schedule
+        return schedule
+
+    def run(self, trace: Union[str, ServingTrace]) -> ServingRunResult:
+        """Continuous-batch ``trace`` to completion and report per-request metrics."""
+        trace = resolve_trace(trace) if isinstance(trace, str) else trace
+        pending: List[RequestSpec] = list(trace.sorted_requests())
+        active: List[_InFlight] = []
+        finished: Dict[str, _InFlight] = {}
+
+        now = 0
+        serving_cycles = 0
+        kernel_count = 0
+        energy_uj = 0.0
+        resource_busy: Dict[str, int] = {}
+        cache_stats = {"hits": 0, "misses": 0}
+        iterations: List[IterationRecord] = []
+
+        while pending or active:
+            # Admission: iteration-level continuous batching admits every
+            # request whose arrival has passed at the iteration boundary.
+            while pending and pending[0].arrival_cycle <= now:
+                active.append(_InFlight(request=pending.pop(0), admitted_cycle=now))
+            if not active:
+                now = pending[0].arrival_cycle
+                continue
+
+            units = self.iteration_units(trace, active)
+            entries = [
+                (
+                    state.prefix,
+                    self.step_schedule(
+                        state.request,
+                        trace.bucketed_context(
+                            state.request.context_at(state.steps_done)
+                        ),
+                        unit,
+                    ),
+                )
+                for state, unit in zip(active, units)
+            ]
+            merged = merge_schedules(
+                entries, model=f"serve:{trace.name}#{len(iterations)}"
+            )
+            result = execute_schedule(merged)
+
+            # Per-request completion inside the iteration: the latest end of
+            # any of the request's (prefixed) layers in the merged placement.
+            for state in active:
+                done_at = now + max(
+                    layer.end
+                    for layer in result.layers
+                    if layer.layer.startswith(state.prefix)
+                )
+                state.steps_done += 1
+                if state.first_token_cycle is None:
+                    state.first_token_cycle = done_at
+                if state.steps_done == state.request.decode_steps:
+                    state.finish_cycle = done_at
+                    finished[state.request.request_id] = state
+
+            iterations.append(
+                IterationRecord(
+                    index=len(iterations),
+                    start_cycle=now,
+                    span_cycles=result.total_cycles,
+                    batch=len(active),
+                    request_ids=[state.request.request_id for state in active],
+                )
+            )
+            serving_cycles += result.total_cycles
+            kernel_count += result.kernel_count
+            energy_uj += result.active_energy_uj
+            for resource, busy in result.resource_busy.items():
+                resource_busy[resource] = resource_busy.get(resource, 0) + busy
+            for key in cache_stats:
+                cache_stats[key] += result.timing_cache.get(key, 0)
+
+            now += result.total_cycles
+            active = [state for state in active if state.finish_cycle is None]
+
+        requests = [
+            RequestResult(
+                request_id=request.request_id,
+                arrival_cycle=request.arrival_cycle,
+                admitted_cycle=finished[request.request_id].admitted_cycle,
+                first_token_cycle=finished[request.request_id].first_token_cycle,
+                finish_cycle=finished[request.request_id].finish_cycle,
+                prompt_len=request.prompt_len,
+                decode_steps=request.decode_steps,
+                model_family=request.model.family,
+            )
+            for request in trace.sorted_requests()
+        ]
+        return ServingRunResult(
+            trace=trace.name,
+            design=self.design,
+            heterogeneous=self.heterogeneous,
+            context_bucket=trace.context_bucket,
+            total_cycles=now,
+            serving_cycles=serving_cycles,
+            requests=requests,
+            iterations=iterations,
+            kernel_count=kernel_count,
+            energy_uj=energy_uj,
+            resource_busy=resource_busy,
+            timing_cache=cache_stats,
+        )
+
+    def isolated_step_spans(
+        self, request: RequestSpec, context_bucket: int
+    ) -> List[int]:
+        """Each decode step's makespan when the request runs entirely alone.
+
+        Uses the same per-step schedules (and KV bucketing) as the batched
+        run, so the comparison isolates *contention and overlap* rather than
+        differing kernel shapes.  The sum of the spans is the request's
+        isolated latency; it lower-bounds the latency any batched run can
+        give the request, and summing across requests upper-bounds the
+        merged serving span (both enforced by the property suite).
+        """
+        spans = []
+        for step in range(request.decode_steps):
+            context = bucket_context(request.context_at(step), context_bucket)
+            # Alone, a request always gets the full-size unit: the isolated
+            # baseline is best-effort single-request serving, not a replay of
+            # whatever unit the batched run happened to pin it to.
+            schedule = self.step_schedule(request, context, MATRIX_RESOURCE)
+            spans.append(execute_schedule(schedule).total_cycles)
+        return spans
+
+    def isolated_cycles(self, request: RequestSpec, context_bucket: int) -> int:
+        """The request's isolated end-to-end decode latency (sum of step spans)."""
+        return sum(self.isolated_step_spans(request, context_bucket))
+
+
+def run_serving(
+    trace: Union[str, ServingTrace],
+    design: Union[str, DesignKind, DesignConfig] = DesignKind.VIRGO,
+    heterogeneous: bool = False,
+    dtype: DataType = DataType.FP16,
+) -> ServingRunResult:
+    """Continuous-batch a serving trace on one design (zoo name or explicit)."""
+    return ServingScheduler(design, heterogeneous=heterogeneous, dtype=dtype).run(trace)

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import difflib
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -49,3 +53,68 @@ def all_design_configs():
 @pytest.fixture
 def rng():
     return np.random.default_rng(seed=20250330)
+
+
+# --------------------------------------------------------------------------- #
+# Golden-file regression harness
+# --------------------------------------------------------------------------- #
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current outputs instead "
+        "of comparing against them",
+    )
+
+
+def canonical_json(data) -> str:
+    """The byte encoding every golden file stores: sorted keys, 2-space
+    indent, trailing newline.  Serialization is pure (no timestamps, no
+    environment), so regeneration on an unchanged tree is byte-identical."""
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``data`` against ``tests/goldens/<name>.json`` byte for byte.
+
+    With ``--update-goldens`` the file is (re)written instead; committing the
+    diff is the explicit, review-visible act of accepting a serialization
+    change -- which is exactly where cache-schema drift should be caught.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, data) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        encoded = canonical_json(data)
+        if update:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(encoded, encoding="utf-8")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden file {path.name}; run pytest with "
+                f"--update-goldens to create it"
+            )
+        expected = path.read_text(encoding="utf-8")
+        if encoded != expected:
+            diff = "".join(
+                difflib.unified_diff(
+                    expected.splitlines(keepends=True),
+                    encoded.splitlines(keepends=True),
+                    fromfile=f"goldens/{path.name}",
+                    tofile="current output",
+                )
+            )
+            pytest.fail(
+                f"golden mismatch for {path.name} -- serialization or timing "
+                f"output drifted; if intended, re-run with --update-goldens "
+                f"and commit the diff:\n{diff}"
+            )
+
+    return check

@@ -7,15 +7,40 @@ import pytest
 import repro.workloads.batch as batch_module
 from repro.workloads import (
     BatchJob,
+    ModelSpec,
+    RequestSpec,
     ResultCache,
+    ServingJob,
+    ServingTrace,
     run_batch,
     resolve_spec,
     scaled_spec,
+    serving_sweep_jobs,
     sweep_jobs,
 )
 
 #: A deliberately tiny spec so batch tests stay fast.
 TINY = scaled_spec(resolve_spec("gpt-decode"), blocks=1, hidden=128, heads=4, context_len=64)
+
+#: A two-request serving trace sized for sub-second job execution.
+TINY_TRACE = ServingTrace(
+    name="batch-tiny",
+    requests=(
+        RequestSpec(
+            request_id="t0",
+            model=ModelSpec(family="gpt", phase="decode", batch=1, seq_len=32,
+                            hidden=128, blocks=1, heads=4),
+            arrival_cycle=0, prompt_len=32, decode_steps=2,
+        ),
+        RequestSpec(
+            request_id="t1",
+            model=ModelSpec(family="moe", phase="decode", batch=1, seq_len=32,
+                            hidden=128, blocks=1, heads=4, experts=4, top_k=2),
+            arrival_cycle=100, prompt_len=32, decode_steps=2,
+        ),
+    ),
+    context_bucket=32,
+)
 
 
 class TestCacheKeys:
@@ -131,6 +156,175 @@ class TestSweepJobs:
     def test_heterogeneous_bool_keeps_single_flag(self):
         jobs = sweep_jobs(["gpt-decode"], ["virgo"], heterogeneous=True)
         assert [job.heterogeneous for job in jobs] == [True]
+
+
+class TestCacheSchemaBump:
+    def test_old_schema_entries_are_ignored_not_misread(self, tmp_path, monkeypatch):
+        """A schema bump must orphan old entries entirely: a result cached
+        under the previous schema version is never returned for the same
+        job content under the current one."""
+        job = BatchJob(TINY, "virgo")
+        monkeypatch.setattr(batch_module, "CACHE_SCHEMA_VERSION", 2)
+        old_key = job.key()
+        poisoned = {"kind": "model", "total_cycles": -1, "schema": "stale"}
+        ResultCache(tmp_path).put(old_key, poisoned)
+        monkeypatch.undo()
+
+        assert job.key() != old_key  # the bump moved the key namespace
+        report = run_batch([job], cache_dir=tmp_path, max_workers=1)
+        assert report.computed == 1 and report.cached == 0
+        assert report.outcomes[0].result != poisoned
+        assert report.outcomes[0].result["total_cycles"] > 0
+
+    def test_schema_version_is_part_of_every_key(self, monkeypatch):
+        model_key = BatchJob(TINY, "virgo").key()
+        serving_key = ServingJob(TINY_TRACE, "virgo").key()
+        monkeypatch.setattr(batch_module, "CACHE_SCHEMA_VERSION", 999)
+        assert BatchJob(TINY, "virgo").key() != model_key
+        assert ServingJob(TINY_TRACE, "virgo").key() != serving_key
+
+    def test_model_and_serving_keys_never_collide(self):
+        # The "kind" discriminator keeps the two job namespaces disjoint
+        # even if a trace payload ever mirrored a spec payload.
+        assert BatchJob(TINY, "virgo").key() != ServingJob(TINY_TRACE, "virgo").key()
+
+
+class TestTimingCacheSnapshotAcrossProcesses:
+    def test_snapshot_round_trips_deterministically_across_processes(self, tmp_path):
+        """Worker processes seeded from the parent's warm timing cache must
+        produce byte-identical results to an inline run: the snapshot is a
+        faithful, deterministic transport of the parent's entries."""
+        from repro.perf import timing_cache
+
+        timing_cache().clear()
+        try:
+            inline = run_batch(
+                [BatchJob(TINY, "virgo"), BatchJob(TINY, "ampere")],
+                cache_dir=None, max_workers=1,
+            )
+            assert timing_cache().snapshot()  # the parent cache is warm now
+            pooled = run_batch(
+                [BatchJob(TINY, "virgo"), BatchJob(TINY, "ampere")],
+                cache_dir=None, max_workers=2,
+            )
+        finally:
+            timing_cache().clear()
+        inline_results = [outcome.result for outcome in inline.outcomes]
+        pooled_results = [outcome.result for outcome in pooled.outcomes]
+        assert json.dumps(pooled_results, sort_keys=True) == json.dumps(
+            inline_results, sort_keys=True
+        )
+
+    def test_seeded_worker_result_matches_unseeded(self):
+        """Seeding is a pure accelerator: loading a snapshot into a fresh
+        cache changes hit/miss accounting, never results."""
+        from repro.perf import timing_cache
+
+        timing_cache().clear()
+        try:
+            cold = batch_module._execute_job(BatchJob(TINY, "virgo"))
+            snapshot = timing_cache().snapshot()
+            timing_cache().clear()
+            batch_module._seed_worker_cache(snapshot)
+            hits_before = timing_cache().hits
+            warm = batch_module._execute_job(BatchJob(TINY, "virgo"))
+            assert timing_cache().hits > hits_before
+            assert timing_cache().misses == 0
+            assert warm == cold
+        finally:
+            timing_cache().clear()
+
+
+class TestDuplicateSweepCells:
+    def test_sweep_jobs_rejects_repeated_model(self):
+        with pytest.raises(ValueError, match="duplicate sweep cell"):
+            sweep_jobs(["gpt-decode", "gpt-decode"], ["virgo"])
+
+    def test_sweep_jobs_rejects_name_and_spec_spelling_the_same_content(self):
+        with pytest.raises(ValueError, match="duplicate sweep cell"):
+            sweep_jobs(["gpt-decode", resolve_spec("gpt-decode")], ["virgo"])
+
+    def test_moe_sweep_rejects_repeated_knob_value(self):
+        with pytest.raises(ValueError, match="duplicate sweep cell"):
+            batch_module.moe_sweep_jobs(experts=(8, 8), top_ks=(2,), heterogeneous=False)
+
+    def test_serving_sweep_rejects_repeated_trace(self):
+        with pytest.raises(ValueError, match="duplicate sweep cell"):
+            serving_sweep_jobs([TINY_TRACE, TINY_TRACE], ["virgo"], heterogeneous=False)
+
+    def test_distinct_cells_still_pass(self):
+        jobs = sweep_jobs(["gpt-decode"], ["virgo", "ampere"], heterogeneous=False)
+        assert len(jobs) == 2
+
+    def test_cli_batch_reports_duplicate_as_clean_exit(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="duplicate sweep cell"):
+            main(["model", "--batch", "--names", "gpt-decode,gpt-decode",
+                  "--designs", "virgo"])
+
+
+class TestServingJobs:
+    def test_key_is_deterministic_and_content_addressed(self):
+        assert ServingJob(TINY_TRACE, "virgo").key() == ServingJob(TINY_TRACE, "virgo").key()
+        assert (
+            ServingJob(TINY_TRACE, "virgo").key()
+            != ServingJob(TINY_TRACE, "ampere").key()
+        )
+        assert (
+            ServingJob(TINY_TRACE, "virgo").key()
+            != ServingJob(TINY_TRACE, "virgo", heterogeneous=True).key()
+        )
+
+    def test_trace_content_changes_key(self):
+        import dataclasses
+
+        shifted = dataclasses.replace(
+            TINY_TRACE,
+            requests=(
+                TINY_TRACE.requests[0],
+                dataclasses.replace(TINY_TRACE.requests[1], arrival_cycle=999),
+            ),
+        )
+        assert ServingJob(TINY_TRACE, "virgo").key() != ServingJob(shifted, "virgo").key()
+
+    def test_name_and_trace_spellings_share_a_key(self):
+        by_name = ServingJob("poisson-mixed", "virgo")
+        by_trace = ServingJob(batch_module.resolve_trace("poisson-mixed"), "virgo")
+        assert by_name.key() == by_trace.key()
+
+    def test_label_names_trace_design_and_units(self):
+        assert ServingJob(TINY_TRACE, "virgo").label == "serve:batch-tiny@virgo"
+        assert (
+            ServingJob(TINY_TRACE, "ampere", heterogeneous=True).label
+            == "serve:batch-tiny@ampere+hetero"
+        )
+
+    def test_serving_sweep_cross_product(self):
+        jobs = serving_sweep_jobs([TINY_TRACE], ["virgo"], heterogeneous=(False, True))
+        assert [job.heterogeneous for job in jobs] == [False, True]
+
+    def test_run_batch_executes_and_caches_serving_jobs(self, tmp_path, monkeypatch):
+        job = ServingJob(TINY_TRACE, "virgo")
+        first = run_batch([job], cache_dir=tmp_path, max_workers=1)
+        assert first.computed == 1
+        result = first.outcomes[0].result
+        assert result["kind"] == "serving"
+        assert result["decode_steps_executed"] == TINY_TRACE.total_decode_steps
+
+        def explode(job):
+            raise AssertionError("serving job recomputed despite warm cache")
+
+        monkeypatch.setattr(batch_module, "_execute_job", explode)
+        second = run_batch([job], cache_dir=tmp_path, max_workers=1)
+        assert second.cached == 1
+        assert second.outcomes[0].result == result
+
+    def test_serving_result_matches_direct_run(self, tmp_path):
+        report = run_batch([ServingJob(TINY_TRACE, "virgo")], cache_dir=tmp_path,
+                           max_workers=1)
+        direct = batch_module.run_serving(TINY_TRACE, "virgo").to_dict()
+        assert report.outcomes[0].result == direct
 
 
 class TestSpecResolution:

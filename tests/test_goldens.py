@@ -1,0 +1,96 @@
+"""Golden-file regression tests for every ``to_dict()``/``to_json`` surface.
+
+Each test renders one canonical serialization -- the encodings the CLI
+prints and the batch runner's on-disk cache stores -- and compares it byte
+for byte against a committed file under ``tests/goldens/``.  Any drift in
+field names, value computation or float formatting fails here, at review
+time, instead of surfacing later as silently-invalidated (or worse,
+misread) cache entries.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+and commit the resulting diff.  On an unchanged tree regeneration is
+byte-identical (the simulation stack and the encoding are deterministic),
+which ``test_goldens_are_reproducible`` enforces directly.
+"""
+
+import json
+
+from repro.analysis.model_breakdown import model_overlap_report
+from repro.analysis.serving import serving_latency_report
+from repro.config.presets import DesignKind
+from repro.runner import run_flash_attention, run_gemm, to_json
+from repro.workloads import (
+    ModelSpec,
+    RequestSpec,
+    ServingTrace,
+    run_model,
+    run_serving,
+)
+
+#: Tiny, fixed workloads: goldens must be fast to regenerate and stable.
+GPT_TINY = ModelSpec(family="gpt", phase="decode", batch=1, seq_len=32,
+                     hidden=128, blocks=1, heads=4, context_len=64)
+MOE_TINY = ModelSpec(family="moe", phase="decode", batch=2, seq_len=32,
+                     hidden=128, blocks=1, heads=4, context_len=64,
+                     experts=4, top_k=2)
+
+SERVING_TRACE = ServingTrace(
+    name="golden-trace",
+    requests=(
+        RequestSpec(request_id="g0", model=GPT_TINY, arrival_cycle=0,
+                    prompt_len=32, decode_steps=2),
+        RequestSpec(request_id="g1", model=MOE_TINY, arrival_cycle=1_000,
+                    prompt_len=64, decode_steps=3),
+    ),
+    context_bucket=32,
+)
+
+
+def test_gemm_run_result_golden(golden):
+    golden("gemm_virgo_128", run_gemm(DesignKind.VIRGO, 128).to_dict())
+
+
+def test_gemm_power_report_golden(golden):
+    golden("gemm_virgo_128_power", run_gemm(DesignKind.VIRGO, 128).power.to_dict())
+
+
+def test_flash_run_result_golden(golden):
+    golden("flash_virgo_default", run_flash_attention(DesignKind.VIRGO).to_dict())
+
+
+def test_model_run_result_golden(golden):
+    golden("model_gpt_decode_tiny", run_model(GPT_TINY, DesignKind.VIRGO).to_dict())
+
+
+def test_model_overlap_report_golden(golden):
+    result = run_model(MOE_TINY, DesignKind.VIRGO, heterogeneous=True)
+    golden("overlap_moe_decode_tiny_hetero", model_overlap_report(result))
+
+
+def test_serving_run_result_golden(golden):
+    golden("serving_trace_tiny", run_serving(SERVING_TRACE, DesignKind.VIRGO).to_dict())
+
+
+def test_serving_latency_report_golden(golden):
+    result = run_serving(SERVING_TRACE, DesignKind.VIRGO)
+    golden("serving_latency_tiny", serving_latency_report(result))
+
+
+def test_to_json_matches_to_dict_encoding():
+    """``to_json`` is the sorted-keys JSON of ``to_dict`` -- the exact bytes
+    the result cache stores (modulo indentation)."""
+    run = run_gemm(DesignKind.VIRGO, 128)
+    assert json.loads(to_json(run)) == run.to_dict()
+
+
+def test_goldens_are_reproducible():
+    """Two renderings of the same surface are byte-identical: goldens can be
+    regenerated on an unchanged tree without spurious diffs."""
+    first = json.dumps(run_serving(SERVING_TRACE, DesignKind.VIRGO).to_dict(),
+                       indent=2, sort_keys=True)
+    second = json.dumps(run_serving(SERVING_TRACE, DesignKind.VIRGO).to_dict(),
+                        indent=2, sort_keys=True)
+    assert first == second

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the continuous-batching scheduler.
+
+Seeded-random traces over tiny GPT/GQA/MoE request networks drive four
+invariants the serving scheduler must hold for *every* trace shape:
+
+1. no request's end-to-end latency is below its isolated-run latency (the
+   merged schedule only ever adds contention, never removes work);
+2. the merged serving span never exceeds the sum of the isolated per-request
+   makespans (continuous batching cannot be worse than running the requests
+   back to back);
+3. decode steps are conserved: every request executes exactly its budget,
+   and the iteration records sum to the trace total;
+4. timing-cache activity is consistent between merged and isolated runs --
+   the merged schedule is a re-arrangement of the same kernels, so from a
+   cold cache both runs perform the same number of lookups and simulate the
+   same set of distinct kernels.
+
+This module also rides the CI perf-smoke job with an explicit wall-clock
+budget (see ``test_serving_run_stays_within_wallclock_budget``): the serving
+loop leans on schedule memoization and the timing cache, and a regression
+that re-simulates kernels per iteration would blow the budget loudly.
+"""
+
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import DesignKind
+from repro.perf import timing_cache
+from repro.workloads import (
+    ModelSpec,
+    RequestSpec,
+    ServingScheduler,
+    ServingTrace,
+    run_serving,
+)
+
+#: Tiny request networks: the properties are about scheduling, not size.
+GPT = ModelSpec(family="gpt", phase="decode", batch=1, seq_len=32,
+                hidden=128, blocks=1, heads=4)
+GQA = ModelSpec(family="gpt", phase="decode", batch=1, seq_len=32,
+                hidden=128, blocks=1, heads=4, kv_heads=1)
+MOE = ModelSpec(family="moe", phase="decode", batch=1, seq_len=32,
+                hidden=128, blocks=1, heads=4, experts=4, top_k=2)
+MODELS = (GPT, GQA, MOE)
+
+@st.composite
+def traces(draw):
+    # Up to 6 requests: with the heterogeneous unit stride of 5, batches of
+    # 5+ exercise the small-matrix-unit assignment path, so the invariants
+    # are falsifiable where they are actually at risk.
+    count = draw(st.integers(1, 6))
+    bucket = draw(st.sampled_from((32, 64)))
+    requests = []
+    for index in range(count):
+        requests.append(
+            RequestSpec(
+                request_id=f"h{index}",
+                model=MODELS[draw(st.integers(0, len(MODELS) - 1))],
+                arrival_cycle=draw(st.integers(0, 500_000)),
+                prompt_len=draw(st.integers(1, 160)),
+                decode_steps=draw(st.integers(1, 3)),
+            )
+        )
+    return ServingTrace(name="hypothesis", requests=tuple(requests), context_bucket=bucket)
+
+
+@settings(deadline=None, max_examples=12)
+@given(trace=traces(), heterogeneous=st.booleans())
+def test_latency_never_below_isolated_run(trace, heterogeneous):
+    scheduler = ServingScheduler(DesignKind.VIRGO, heterogeneous=heterogeneous)
+    result = scheduler.run(trace)
+    by_id = {request.request_id: request for request in result.requests}
+    for request in trace.requests:
+        isolated = scheduler.isolated_cycles(request, trace.context_bucket)
+        assert by_id[request.request_id].latency_cycles >= isolated
+
+
+@settings(deadline=None, max_examples=12)
+@given(trace=traces(), heterogeneous=st.booleans())
+def test_merged_span_at_most_sum_of_isolated_makespans(trace, heterogeneous):
+    scheduler = ServingScheduler(DesignKind.VIRGO, heterogeneous=heterogeneous)
+    result = scheduler.run(trace)
+    isolated_sum = sum(
+        scheduler.isolated_cycles(request, trace.context_bucket)
+        for request in trace.requests
+    )
+    # serving_cycles counts only busy iterations, so trace idle gaps (which
+    # isolated runs skip too) do not distort the comparison.
+    assert result.serving_cycles <= isolated_sum
+
+
+@settings(deadline=None, max_examples=12)
+@given(trace=traces())
+def test_decode_steps_conserved(trace):
+    result = run_serving(trace, DesignKind.VIRGO)
+    assert result.decode_steps_executed == trace.total_decode_steps
+    per_request = {request.request_id: 0 for request in trace.requests}
+    for record in result.iterations:
+        assert record.batch == len(record.request_ids)
+        for request_id in record.request_ids:
+            per_request[request_id] += 1
+    assert per_request == {
+        request.request_id: request.decode_steps for request in trace.requests
+    }
+
+
+@settings(deadline=None, max_examples=8)
+@given(trace=traces())
+def test_timing_cache_stats_consistent_between_merged_and_isolated(trace):
+    cache = timing_cache()
+
+    cache.clear()
+    scheduler = ServingScheduler(DesignKind.VIRGO)
+    for request in trace.requests:
+        scheduler.isolated_step_spans(request, trace.context_bucket)
+    isolated = dict(hits=cache.hits, misses=cache.misses)
+
+    cache.clear()
+    merged = ServingScheduler(DesignKind.VIRGO).run(trace)
+    batched = dict(hits=cache.hits, misses=cache.misses)
+    cache.clear()
+
+    # Same kernels, same distinct shapes: cold-cache misses and the total
+    # lookup count must agree exactly; the run's own attribution matches.
+    assert batched["misses"] == isolated["misses"]
+    assert batched["hits"] + batched["misses"] == isolated["hits"] + isolated["misses"]
+    assert merged.timing_cache == batched
+
+
+def test_serving_run_stays_within_wallclock_budget():
+    """Perf-smoke guardrail: a zoo trace serves end to end in seconds.
+
+    The budget is generous (CI machines vary) but a scheduler regression
+    that re-lowers or re-simulates kernels per iteration is orders of
+    magnitude over it.
+    """
+    start = time.perf_counter()
+    result = run_serving("poisson-mixed", DesignKind.VIRGO)
+    elapsed = time.perf_counter() - start
+    assert result.decode_steps_executed > 0
+    assert elapsed < 10.0, f"serving run took {elapsed:.1f}s (budget 10s)"

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import re
+import shlex
 import subprocess
 import sys
 from pathlib import Path
@@ -59,15 +60,19 @@ def run(command: List[str], label: str, stdin: str = "") -> bool:
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    result = subprocess.run(
-        command,
-        input=stdin or None,
-        cwd=REPO_ROOT,
-        env=env,
-        capture_output=True,
-        text=True,
-        timeout=600,
-    )
+    try:
+        result = subprocess.run(
+            command,
+            input=stdin or None,
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+    except subprocess.TimeoutExpired:
+        print(f"FAIL {label} (timed out after 600s)")
+        return False
     if result.returncode != 0:
         print(f"FAIL {label}")
         sys.stdout.write(result.stdout[-4000:])
@@ -96,7 +101,7 @@ def check_file(path: Path) -> Tuple[int, int]:
                     continue
                 executed += 1
                 if not run(
-                    command_line.split(), f"{label_base} [{command_line}]"
+                    shlex.split(command_line), f"{label_base} [{command_line}]"
                 ):
                     failed += 1
     return executed, failed
