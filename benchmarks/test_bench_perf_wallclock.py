@@ -9,21 +9,41 @@ tracks the *simulator's own* speed so performance regressions fail loudly:
   below the typically measured ratio so CI noise does not flake;
 * ``simulate_gemm`` with steady-state schedule compression must stay
   effectively O(1) in the tile count: a 4096^3 GEMM materializes a
-  constant-size operation graph and beats full expansion by a wide margin.
+  constant-size operation graph and beats full expansion by a wide margin;
+* a *second* ``serve`` invocation -- a fresh cache warmed from the
+  persistent snapshot, iterations replaying through the iteration memo --
+  must beat the true cold path by >= 3x;
+* ``simulate_flash_attention`` with the steady-state-compressed tile loop
+  must beat full expansion by >= 10x on long-sequence configs.
+
+The serving and flash ratios are additionally recorded in
+``BENCH_serving_perf.json`` at the repo root.
 
 Run directly (also wired into the CI perf-smoke job)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_perf_wallclock.py -q
 """
 
+import json
 import time
+from pathlib import Path
 
 from conftest import print_comparison
 
 from repro.config.presets import DesignKind
+from repro.kernels.flash_attention import (
+    FlashAttentionWorkload,
+    simulate_flash_attention,
+)
 from repro.kernels.gemm import GemmWorkload, simulate_gemm
-from repro.perf import cache_disabled, timing_cache
-from repro.workloads import resolve_spec, run_model, scaled_spec
+from repro.perf import (
+    cache_disabled,
+    load_snapshot,
+    persistent_timing_cache,
+    snapshot_path,
+    timing_cache,
+)
+from repro.workloads import resolve_spec, run_model, run_serving, scaled_spec
 
 #: The ISSUE's motivating scenario: a deep GPT whose blocks all lower to the
 #: same handful of kernel shapes.
@@ -33,6 +53,16 @@ DEEP_GPT = scaled_spec(resolve_spec("gpt-prefill"), blocks=24)
 #: loudly on an accidental O(n^2) or cache bypass, never on timer noise.
 MIN_WARM_SPEEDUP = 3.0
 MIN_COMPRESSION_SPEEDUP = 3.0
+#: Second serve invocation (persistent cache + iteration memo) over cold.
+MIN_SERVING_WARM_SPEEDUP = 3.0
+#: Compressed over fully expanded flash tile loop at long sequence length.
+MIN_FLASH_COMPRESSION_SPEEDUP = 10.0
+
+#: Measured serving/flash ratios land here (repo root).  The file is
+#: committed as the reviewable record of the guarded ratios -- running the
+#: benchmarks refreshes it in place (like regenerating goldens), and the CI
+#: perf-smoke job uploads its copy as a build artifact.
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_serving_perf.json"
 
 
 def _best_of(fn, rounds=3):
@@ -42,6 +72,19 @@ def _best_of(fn, rounds=3):
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _record_bench(section, values):
+    """Merge one benchmark's measurements into ``BENCH_serving_perf.json``."""
+    record = {}
+    try:
+        record = json.loads(BENCH_RECORD.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        pass
+    record[section] = values
+    BENCH_RECORD.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def test_bench_warm_cache_model_speedup(benchmark):
@@ -107,3 +150,121 @@ def test_bench_schedule_compression_speedup(benchmark):
     assert result.total_cycles == expanded.total_cycles
     assert result.schedule_stats["executed_operations"] < 100
     assert expanded_time / compressed_time >= MIN_COMPRESSION_SPEEDUP
+
+
+def test_bench_serving_warm_vs_cold(benchmark, tmp_path):
+    """Second ``serve`` invocation vs the first, and vs the uncached floor.
+
+    The cold lap is exactly what the *first* ``python -m repro serve
+    --cache-dir ...`` pays in a fresh process: every distinct kernel
+    simulated once, every iteration merged and list-scheduled, the snapshot
+    flushed on exit.  The warm lap is the *second* invocation: an empty
+    process cache re-seeded from the snapshot (kernel timings + iteration
+    memo), so iterations replay instead of being re-merged/re-scheduled.
+    The fully uncached floor (pre-PR2 behaviour: per-iteration
+    re-simulation) is reported alongside for scale.
+    """
+    trace = "poisson-mixed"
+    path = snapshot_path(tmp_path)
+    timing_cache().clear()
+    with cache_disabled():
+        uncached = _best_of(lambda: run_serving(trace, "virgo"))
+
+    def first_invocation():
+        timing_cache().clear()
+        if path.exists():
+            path.unlink()
+        with persistent_timing_cache(tmp_path):
+            return run_serving(trace, "virgo")
+
+    cold = _best_of(first_invocation)
+    first_invocation()  # leave a fresh snapshot behind for the warm laps
+    assert path.exists()
+
+    def second_invocation():
+        # A fresh process: empty timing cache (clearing also empties the
+        # iteration memo), warmed from the on-disk snapshot.
+        timing_cache().clear()
+        load_snapshot(path)
+        return run_serving(trace, "virgo")
+
+    warm_result = benchmark.pedantic(second_invocation, rounds=5, iterations=1)
+    warm = min(benchmark.stats.stats.data)
+    timing_cache().clear()
+
+    speedup = cold / warm
+    print_comparison(
+        "Wall clock: second serve invocation (persistent cache + memo) vs first",
+        {
+            "uncached_ms": {"measured": uncached * 1e3},
+            "first_invocation_ms": {"measured": cold * 1e3},
+            "second_invocation_ms": {"measured": warm * 1e3},
+            "speedup": {"measured": speedup, "paper": MIN_SERVING_WARM_SPEEDUP},
+        },
+    )
+    _record_bench(
+        "serving_warm_vs_cold",
+        {
+            "trace": trace,
+            "design": "virgo",
+            "uncached_ms": round(uncached * 1e3, 3),
+            "first_invocation_ms": round(cold * 1e3, 3),
+            "second_invocation_ms": round(warm * 1e3, 3),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SERVING_WARM_SPEEDUP,
+        },
+    )
+    assert warm_result.timing_cache["misses"] == 0
+    assert warm_result.iteration_memo["misses"] == 0
+    assert warm_result.decode_steps_executed > 0
+    assert speedup >= MIN_SERVING_WARM_SPEEDUP
+
+
+def test_bench_flash_compression_speedup(benchmark):
+    """Flash attention at seq 16384: steady-state compression vs the fully
+    expanded (Q tile, KV tile) operation graph."""
+    workload = FlashAttentionWorkload(seq_len=16384)
+    expanded_time = _best_of(
+        lambda: simulate_flash_attention(
+            DesignKind.VIRGO, workload, full_expansion=True
+        ),
+        rounds=1,
+    )
+    result = benchmark.pedantic(
+        lambda: simulate_flash_attention(DesignKind.VIRGO, workload),
+        rounds=3,
+        iterations=1,
+    )
+    compressed_time = min(benchmark.stats.stats.data)
+    expanded = simulate_flash_attention(DesignKind.VIRGO, workload, full_expansion=True)
+
+    speedup = expanded_time / compressed_time
+    print_comparison(
+        "Wall clock: compressed vs fully expanded flash tile loop (seq 16384)",
+        {
+            "expanded_ms": {"measured": expanded_time * 1e3},
+            "compressed_ms": {"measured": compressed_time * 1e3},
+            "speedup": {"measured": speedup, "paper": MIN_FLASH_COMPRESSION_SPEEDUP},
+            "executed_operations": {
+                "measured": float(result.schedule_stats["executed_operations"])
+            },
+            "operations_covered": {
+                "measured": float(result.schedule_stats["operation_count"])
+            },
+        },
+    )
+    _record_bench(
+        "flash_compression",
+        {
+            "design": "virgo",
+            "seq_len": workload.seq_len,
+            "expanded_ms": round(expanded_time * 1e3, 3),
+            "compressed_ms": round(compressed_time * 1e3, 3),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_FLASH_COMPRESSION_SPEEDUP,
+        },
+    )
+    assert result.total_cycles == expanded.total_cycles
+    assert result.phase_cycles == expanded.phase_cycles
+    assert result.schedule_stats["executed_operations"] < 100
+    assert speedup >= MIN_FLASH_COMPRESSION_SPEEDUP

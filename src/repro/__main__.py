@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 from typing import Sequence
 
 from repro.analysis.figures import (
@@ -49,11 +50,12 @@ from repro.analysis.serving import (
     REQUEST_HEADERS,
     format_latency_report,
     serving_latency_report,
+    serving_perf_stats,
     serving_request_rows,
 )
 from repro.config.presets import DesignKind
 from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heterogeneous
-from repro.perf import timing_cache
+from repro.perf import persistent_timing_cache, timing_cache
 from repro.runner import run_flash_attention, run_gemm
 from repro.workloads import (
     model_names,
@@ -65,6 +67,18 @@ from repro.workloads import (
     sweep_jobs,
     trace_names,
 )
+
+
+def _maybe_persistent_cache(cache_dir):
+    """Persist the timing cache under ``cache_dir`` when one was given.
+
+    A second identical invocation then starts with every kernel timing warm
+    (the snapshot loads at process start and flushes atomically on exit);
+    without a cache directory the run stays process-local.
+    """
+    if cache_dir is None:
+        return nullcontext()
+    return persistent_timing_cache(cache_dir)
 
 
 def _design_from_name(name: str) -> DesignKind:
@@ -205,7 +219,8 @@ def _cmd_model(args: argparse.Namespace) -> None:
 
     kind = _design_from_name(args.design)
     try:
-        result = run_model(args.name, kind, heterogeneous=args.hetero)
+        with _maybe_persistent_cache(args.cache_dir):
+            result = run_model(args.name, kind, heterogeneous=args.hetero)
     except (KeyError, ValueError) as error:
         # Unknown zoo name or an unsupported design/flag combination; both
         # messages already name the valid choices.
@@ -259,7 +274,11 @@ def _cmd_serve(args: argparse.Namespace) -> None:
 
     kind = _design_from_name(args.design)
     try:
-        result = run_serving(args.trace, kind, heterogeneous=args.hetero)
+        with _maybe_persistent_cache(args.cache_dir):
+            result = run_serving(
+                args.trace, kind, heterogeneous=args.hetero,
+                iteration_memo=not args.no_iteration_memo,
+            )
     except (KeyError, ValueError) as error:
         # Unknown trace name or an unsupported design/flag combination; both
         # messages already name the valid choices.
@@ -269,6 +288,10 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     if args.json:
         report = result.to_dict()
         report["latency_report"] = serving_latency_report(result)
+        # Run-local perf diagnostics ride outside to_dict(): the canonical
+        # encoding (and the goldens/result caches pinning it) must stay
+        # byte-stable across cache and memo states.
+        report["perf"] = serving_perf_stats(result)
         print(json.dumps(report, indent=2))
         return
 
@@ -293,7 +316,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             f"{result.energy_uj:.1f} uJ"
         )
     stats = result.timing_cache
+    memo = result.iteration_memo
     print(
+        f"iteration memo: {memo.get('hits', 0)} hits, {memo.get('misses', 0)} misses; "
         f"timing cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses "
         f"({len(timing_cache())} entries in process)"
     )
@@ -355,7 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--batch", action="store_true", help="run a (models x designs) sweep")
     model.add_argument("--names", default="", help="comma-separated models for --batch")
     model.add_argument("--designs", default="", help="comma-separated designs for --batch")
-    model.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    model.add_argument("--cache-dir", default=None,
+                       help="on-disk cache directory (batch results + "
+                            "persistent kernel-timing snapshot)")
     model.add_argument("--workers", type=int, default=None,
                        help="process-pool size for --batch (default: cpu count)")
     model.set_defaults(func=_cmd_model)
@@ -384,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the full JSON serving report")
     serve.add_argument("--list", action="store_true",
                        help="list the serving-trace zoo and exit")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist the kernel-timing cache here so repeat "
+                            "invocations start warm")
+    serve.add_argument("--no-iteration-memo", action="store_true",
+                       help="merge and schedule every iteration afresh "
+                            "(disables the iteration-level memo)")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

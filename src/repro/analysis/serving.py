@@ -85,6 +85,20 @@ def serving_latency_report(result: ServingRunResult) -> Dict[str, object]:
     }
 
 
+def serving_perf_stats(result: ServingRunResult) -> Dict[str, Dict[str, int]]:
+    """Run-local perf diagnostics: iteration-memo and timing-cache activity.
+
+    Kept out of :func:`serving_latency_report` deliberately -- that report
+    (like ``ServingRunResult.to_dict``) is a canonical, golden-pinned
+    encoding that must stay byte-stable across cache and memo states, while
+    these counters describe how *this* process happened to execute the run.
+    """
+    return {
+        "iteration_memo": dict(result.iteration_memo),
+        "timing_cache": dict(result.timing_cache),
+    }
+
+
 def serving_request_rows(result: ServingRunResult) -> List[List[str]]:
     """One formatted row per request for the CLI table."""
     return [
@@ -116,6 +130,8 @@ def format_latency_report(result: ServingRunResult) -> str:
         f"{resource} {percent:.1f}%"
         for resource, percent in report["unit_occupancy_percent"].items()
     )
+    perf = serving_perf_stats(result)
+    memo, cache = perf["iteration_memo"], perf["timing_cache"]
     return "\n".join(
         [
             (
@@ -129,5 +145,10 @@ def format_latency_report(result: ServingRunResult) -> str:
             line("ttft", report["ttft_cycles"]),
             line("queueing", report["queueing_cycles"]),
             f"unit occupancy (serving span): {occupancy}",
+            (
+                f"iteration memo: {memo.get('hits', 0)} hits, "
+                f"{memo.get('misses', 0)} misses; timing cache: "
+                f"{cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses"
+            ),
         ]
     )

@@ -26,11 +26,14 @@ from repro.core.gemmini import GemminiMatrixUnit
 from repro.isa.instructions import OpClass
 from repro.isa.program import WarpProgram
 from repro.kernels.gemm.instruction_streams import _fragment_loads
+from repro.kernels.gemm.schedule_loops import (
+    FlashLoopSpec,
+    FlashPipe,
+    execute_flash_loop,
+)
 from repro.memory.dma import DmaEngine
 from repro.memory.dram import DramChannel
-from repro.sim.resources import Resource
 from repro.sim.stats import Counters
-from repro.sim.taskgraph import OperationGraph
 from repro.simt.core import VortexCore
 from repro.tensorcore.volta import VoltaTensorCore
 
@@ -155,7 +158,12 @@ class FlashAttentionWorkload:
 
 @dataclass
 class FlashAttentionResult:
-    """Outcome of simulating FlashAttention-3 on one design."""
+    """Outcome of simulating FlashAttention-3 on one design.
+
+    ``schedule_stats`` reports how the tile loop was scheduled (executed vs
+    extrapolated operations, see :mod:`repro.sim.steady_state`); it is
+    diagnostic only and never serialized.
+    """
 
     design: DesignConfig
     workload: FlashAttentionWorkload
@@ -164,6 +172,7 @@ class FlashAttentionResult:
     counters: Counters
     fence_poll_cycles_avg: float = 0.0
     phase_cycles: Dict[str, int] = field(default_factory=dict)
+    schedule_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mac_utilization(self) -> float:
@@ -248,7 +257,9 @@ class VirgoFlashAttentionKernel:
         self.dram = DramChannel(self.design.soc.dram)
         self.dma = DmaEngine(self.design.cluster.dma, self.dram)
 
-    def simulate(self, workload: FlashAttentionWorkload) -> FlashAttentionResult:
+    def simulate(
+        self, workload: FlashAttentionWorkload, full_expansion: bool = False
+    ) -> FlashAttentionResult:
         bq, bkv, d = workload.block_q, workload.block_kv, workload.head_dim
 
         # Per-iteration GEMM timings on the cluster matrix unit.
@@ -260,31 +271,38 @@ class VirgoFlashAttentionKernel:
         kv_bytes = 2 * bkv * d * 4  # FP32 K and V tiles
         dma_cycles = self.dma.transfer_cycles(kv_bytes)
 
-        # Software pipeline: matrix unit, SIMT softmax and DMA all overlap;
-        # the iteration is paced by the slowest pipe plus the fence/barrier.
-        iteration_cycles = max(matrix_cycles, softmax_cycles, dma_cycles)
-        iteration_cycles += self.FENCE_POLL_CYCLES + self.BARRIER_CYCLES
-
-        iterations = workload.iterations
-        total_cycles = iteration_cycles * iterations
-        # Prologue (first Q/K/V loads) and epilogue (final O store).
-        total_cycles += self.dma.transfer_cycles(3 * bq * d * 4)
-        total_cycles += self.dma.transfer_cycles(bq * d * 4) * (workload.seq_len // bq)
+        # Software pipeline: per iteration the matrix unit, the SIMT softmax
+        # and the next KV tile's DMA all run concurrently and re-synchronize
+        # at the fence + cluster barrier, so each iteration is paced by its
+        # slowest pipe plus the sync cost.  The loop is scheduled through
+        # the steady-state engine (O(1) in ``heads x q_tiles x kv_tiles``)
+        # unless ``full_expansion`` asks for the materialized graph.
+        spec = FlashLoopSpec(
+            iterations=workload.iterations,
+            pipes=(
+                FlashPipe(kind="matrix", resource="matrix", cycles=matrix_cycles),
+                FlashPipe(kind="softmax", resource="simt", cycles=softmax_cycles),
+                FlashPipe(kind="dma", resource="dma", cycles=dma_cycles),
+            ),
+            sync_cycles=self.FENCE_POLL_CYCLES + self.BARRIER_CYCLES,
+            # Prologue (first Q/K/V loads) and epilogue (per-Q-tile O store).
+            prologue_cycles=self.dma.transfer_cycles(3 * bq * d * 4),
+            epilogue_cycles=self.dma.transfer_cycles(bq * d * 4),
+            epilogue_count=workload.seq_len // bq,
+        )
+        schedule = execute_flash_loop(spec, full_expansion=full_expansion)
 
         counters = self._counters(workload, gemm1, gemm2)
         ideal = workload.gemm_macs / float(self.design.cluster.total_macs_per_cycle)
         return FlashAttentionResult(
             design=self.design,
             workload=workload,
-            total_cycles=total_cycles,
+            total_cycles=schedule.total_cycles,
             ideal_mac_cycles=ideal,
             counters=counters,
             fence_poll_cycles_avg=self.FENCE_POLL_CYCLES,
-            phase_cycles={
-                "matrix": matrix_cycles * iterations,
-                "softmax": softmax_cycles * iterations,
-                "dma": dma_cycles * iterations,
-            },
+            phase_cycles=dict(schedule.kind_cycles),
+            schedule_stats=schedule.stats(),
         )
 
     def _counters(self, workload: FlashAttentionWorkload, gemm1, gemm2) -> Counters:
@@ -407,29 +425,43 @@ class AmpereFlashAttentionKernel:
         programs[0] = WarpProgram(name="fa_gemm_leader").extend(gemm_program).extend(leader)
         return programs, tile_ops_per_warp * gemm_warps
 
-    def simulate(self, workload: FlashAttentionWorkload) -> FlashAttentionResult:
+    def simulate(
+        self, workload: FlashAttentionWorkload, full_expansion: bool = False
+    ) -> FlashAttentionResult:
         programs, tile_ops_per_core = self._iteration_programs(workload)
         execution = self.core.execute(programs)
-        iteration_cycles = execution.cycles + self.BARRIER_CYCLES
 
         bkv, d = workload.block_kv, workload.head_dim
         kv_bytes = 2 * bkv * d * 4
         dma_cycles = self.dma.transfer_cycles(kv_bytes)
-        iteration_cycles = max(iteration_cycles, dma_cycles)
 
-        iterations = workload.iterations
-        total_cycles = iteration_cycles * iterations
-        total_cycles += self.dma.transfer_cycles(3 * workload.block_q * d * 4)
+        # Ping-pong iteration: the warp-specialized core phase (GEMM + softmax
+        # groups, closed by the core barrier) overlaps only with the DMA of
+        # the next KV tile; the slower of the two paces the loop.
+        spec = FlashLoopSpec(
+            iterations=workload.iterations,
+            pipes=(
+                FlashPipe(
+                    kind="core",
+                    resource="core",
+                    cycles=execution.cycles + self.BARRIER_CYCLES,
+                ),
+                FlashPipe(kind="dma", resource="dma", cycles=dma_cycles),
+            ),
+            prologue_cycles=self.dma.transfer_cycles(3 * workload.block_q * d * 4),
+        )
+        schedule = execute_flash_loop(spec, full_expansion=full_expansion)
 
         counters = self._counters(workload, execution.counters, tile_ops_per_core)
         ideal = workload.gemm_macs / float(self.design.cluster.total_macs_per_cycle)
         return FlashAttentionResult(
             design=self.design,
             workload=workload,
-            total_cycles=total_cycles,
+            total_cycles=schedule.total_cycles,
             ideal_mac_cycles=ideal,
             counters=counters,
-            phase_cycles={"iteration": iteration_cycles * iterations},
+            phase_cycles=dict(schedule.kind_cycles),
+            schedule_stats=schedule.stats(),
         )
 
     def _counters(
@@ -466,19 +498,25 @@ class AmpereFlashAttentionKernel:
 def simulate_flash_attention(
     design: DesignKind | DesignConfig,
     workload: FlashAttentionWorkload | None = None,
+    full_expansion: bool = False,
 ) -> FlashAttentionResult:
-    """Simulate FlashAttention-3 on Virgo or the Ampere-style baseline."""
+    """Simulate FlashAttention-3 on Virgo or the Ampere-style baseline.
+
+    ``full_expansion=True`` materializes the whole (Q tile, KV tile) loop on
+    the taskgraph scheduler instead of the steady-state-compressed default;
+    both paths are bit-identical (``tests/test_flash_compression.py``).
+    """
     workload = workload or FlashAttentionWorkload()
     if isinstance(design, DesignKind):
         if design is DesignKind.VIRGO:
-            return VirgoFlashAttentionKernel().simulate(workload)
+            return VirgoFlashAttentionKernel().simulate(workload, full_expansion)
         if design is DesignKind.AMPERE:
-            return AmpereFlashAttentionKernel().simulate(workload)
+            return AmpereFlashAttentionKernel().simulate(workload, full_expansion)
         design = make_design(design, DataType.FP32)
     if design.style is IntegrationStyle.DISAGGREGATED:
-        return VirgoFlashAttentionKernel(design).simulate(workload)
+        return VirgoFlashAttentionKernel(design).simulate(workload, full_expansion)
     if design.style is IntegrationStyle.TIGHTLY_COUPLED_DMA:
-        return AmpereFlashAttentionKernel(design).simulate(workload)
+        return AmpereFlashAttentionKernel(design).simulate(workload, full_expansion)
     raise ValueError(
         "the paper evaluates FlashAttention-3 on the Virgo and Ampere-style designs only"
     )

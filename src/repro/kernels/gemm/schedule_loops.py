@@ -1,33 +1,49 @@
-"""Shared tile-loop scheduling for the per-design GEMM kernel builders.
+"""Shared tile-loop scheduling for the kernel builders (GEMM and flash).
 
-All three GEMM timing models walk the same loop nest -- output tiles, a K
-loop inside each tile, an epilogue per tile -- and differ only in which
-resources the operations occupy, their durations, and how double buffering
-wires the load dependencies.  :class:`GemmLoopSpec` captures those knobs;
-:func:`execute_gemm_loop` turns a spec into the scheduled totals either by
+The GEMM timing models walk the same loop nest -- output tiles, a K loop
+inside each tile, an epilogue per tile -- and differ only in which resources
+the operations occupy, their durations, and how double buffering wires the
+load dependencies.  :class:`GemmLoopSpec` captures those knobs.  The fused
+flash-attention kernels walk a different but equally periodic structure --
+a software-pipelined (Q tile, KV tile) loop whose concurrent pipes (matrix
+unit, SIMT softmax, DMA) re-synchronize at a fence + barrier every
+iteration -- captured by :class:`FlashLoopSpec`.
+
+:func:`execute_gemm_loop` / :func:`execute_flash_loop` turn a spec into the
+scheduled totals either by
 
 * **steady-state compression** (the default): the loop nest runs on
   :class:`repro.sim.steady_state.SteadyStateEngine`, which executes warm-up
   plus one steady-state period concretely and extrapolates the rest, making
-  the cost independent of ``cluster_tiles x k_iterations``; or
+  the cost independent of the iteration counts (``cluster_tiles x
+  k_iterations`` for GEMM, ``heads x q_tiles x kv_tiles`` for flash); or
 * **full expansion** (``full_expansion=True``): the historical behaviour --
   every operation is materialized on an
   :class:`repro.sim.taskgraph.OperationGraph` and list-scheduled.
 
 Both paths use the identical start-time arithmetic, so their results are
-bit-identical; the equivalence is enforced by ``tests/test_schedule_compression.py``.
+bit-identical; the equivalence is enforced by
+``tests/test_schedule_compression.py`` (GEMM) and
+``tests/test_flash_compression.py`` (flash attention).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.resources import Resource
 from repro.sim.steady_state import LoopStep, SteadyStateEngine
 from repro.sim.taskgraph import OperationGraph
 
-__all__ = ["GemmLoopSpec", "GemmLoopSchedule", "execute_gemm_loop"]
+__all__ = [
+    "GemmLoopSpec",
+    "GemmLoopSchedule",
+    "execute_gemm_loop",
+    "FlashPipe",
+    "FlashLoopSpec",
+    "execute_flash_loop",
+]
 
 #: Anchor names used by the compressed executor.
 _CHAIN = "chain"  # the serializing dependency chain (previous compute / store)
@@ -223,6 +239,185 @@ def _execute_compressed(spec: GemmLoopSpec) -> GemmLoopSchedule:
         total_cycles=engine.makespan,
         kind_cycles=dict(engine.kind_cycles),
         resource_busy=resource_busy,
+        executed_operations=engine.executed_operations,
+        extrapolated_operations=engine.extrapolated_operations,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Flash-attention pipelined loop
+# --------------------------------------------------------------------------- #
+
+#: Anchor naming for the flash loop's per-pipe end times.
+def _pipe_anchor(kind: str) -> str:
+    return f"pipe.{kind}"
+
+
+@dataclass(frozen=True)
+class FlashPipe:
+    """One concurrent pipe of a flash-attention iteration.
+
+    All pipes of an iteration start together at the previous iteration's
+    barrier release and occupy their own resource for ``cycles``.
+    """
+
+    kind: str
+    resource: str
+    cycles: int
+
+
+@dataclass(frozen=True)
+class FlashLoopSpec:
+    """Software-pipelined (Q tile, KV tile) loop of a fused attention kernel.
+
+    Per iteration, every :class:`FlashPipe` (matrix-unit GEMMs, SIMT online
+    softmax, KV-tile DMA) runs concurrently; a sync step of ``sync_cycles``
+    (fence poll + cluster barrier on Virgo, the core barrier on the
+    Ampere-style mapping) waits for all pipes and releases the next
+    iteration, so each iteration is paced by its slowest pipe plus the sync
+    cost.  ``prologue_cycles`` models the initial Q/K/V loads the first
+    iteration waits on; ``epilogue_count`` stores of ``epilogue_cycles``
+    each drain the output tiles after the loop.
+    """
+
+    iterations: int
+    pipes: Tuple[FlashPipe, ...]
+    sync_cycles: int = 0
+    sync_resource: str = "sync"
+    prologue_cycles: int = 0
+    prologue_resource: str = "dma"
+    epilogue_cycles: int = 0
+    epilogue_count: int = 0
+    epilogue_resource: str = "dma"
+
+    def __post_init__(self) -> None:
+        if not self.pipes:
+            raise ValueError("a flash loop needs at least one pipe")
+        kinds = [pipe.kind for pipe in self.pipes]
+        if len(set(kinds)) != len(kinds):
+            # Pipe kinds double as per-pipe anchor names (and reporting
+            # keys), so they must be distinct within one spec.
+            raise ValueError(f"flash pipe kinds must be distinct, got {kinds}")
+
+    def resources(self) -> Tuple[str, ...]:
+        """Every resource the loop occupies, in deterministic order."""
+        names = [pipe.resource for pipe in self.pipes] + [self.sync_resource]
+        if self.prologue_cycles:
+            names.append(self.prologue_resource)
+        if self.epilogue_count:
+            names.append(self.epilogue_resource)
+        return tuple(dict.fromkeys(names))
+
+
+def execute_flash_loop(
+    spec: FlashLoopSpec, full_expansion: bool = False
+) -> GemmLoopSchedule:
+    """Schedule the flash-attention loop nest described by ``spec``."""
+    if full_expansion:
+        return _execute_flash_expanded(spec)
+    return _execute_flash_compressed(spec)
+
+
+def _execute_flash_expanded(spec: FlashLoopSpec) -> GemmLoopSchedule:
+    graph = OperationGraph()
+    for name in spec.resources():
+        graph.add_resource(Resource(name))
+
+    chain: Optional[str] = None
+    if spec.prologue_cycles:
+        graph.add_operation(
+            "prologue", spec.prologue_resource, spec.prologue_cycles, kind="prologue"
+        )
+        chain = "prologue"
+    for index in range(spec.iterations):
+        pipe_names = []
+        for pipe in spec.pipes:
+            name = f"{pipe.kind}.i{index}"
+            graph.add_operation(
+                name,
+                pipe.resource,
+                pipe.cycles,
+                deps=[chain] if chain else [],
+                kind=pipe.kind,
+            )
+            pipe_names.append(name)
+        sync_name = f"sync.i{index}"
+        graph.add_operation(
+            sync_name, spec.sync_resource, spec.sync_cycles, deps=pipe_names, kind="sync"
+        )
+        chain = sync_name
+    for index in range(spec.epilogue_count):
+        name = f"epilogue.{index}"
+        graph.add_operation(
+            name,
+            spec.epilogue_resource,
+            spec.epilogue_cycles,
+            deps=[chain] if chain else [],
+            kind="epilogue",
+        )
+        chain = name
+
+    schedule = graph.schedule()
+    return GemmLoopSchedule(
+        total_cycles=schedule.total_cycles,
+        kind_cycles=dict(schedule.critical_kind_cycles()),
+        resource_busy=dict(schedule.resource_busy),
+        executed_operations=len(graph),
+    )
+
+
+def _execute_flash_compressed(spec: FlashLoopSpec) -> GemmLoopSchedule:
+    engine = SteadyStateEngine()
+    for name in spec.resources():
+        engine.add_resource(name)
+
+    if spec.prologue_cycles:
+        engine.execute(
+            LoopStep(
+                resource=spec.prologue_resource,
+                duration=spec.prologue_cycles,
+                kind="prologue",
+                sets=(_CHAIN,),
+            )
+        )
+    body = [
+        LoopStep(
+            resource=pipe.resource,
+            duration=pipe.cycles,
+            kind=pipe.kind,
+            deps=(_CHAIN,),
+            sets=(_pipe_anchor(pipe.kind),),
+        )
+        for pipe in spec.pipes
+    ]
+    body.append(
+        LoopStep(
+            resource=spec.sync_resource,
+            duration=spec.sync_cycles,
+            kind="sync",
+            deps=tuple(_pipe_anchor(pipe.kind) for pipe in spec.pipes),
+            sets=(_CHAIN,),
+        )
+    )
+    engine.run_loop(body, spec.iterations)
+    if spec.epilogue_count:
+        engine.run_loop(
+            [
+                LoopStep(
+                    resource=spec.epilogue_resource,
+                    duration=spec.epilogue_cycles,
+                    kind="epilogue",
+                    deps=(_CHAIN,),
+                    sets=(_CHAIN,),
+                )
+            ],
+            spec.epilogue_count,
+        )
+
+    return GemmLoopSchedule(
+        total_cycles=engine.makespan,
+        kind_cycles=dict(engine.kind_cycles),
+        resource_busy=dict(engine.busy),
         executed_operations=engine.executed_operations,
         extrapolated_operations=engine.extrapolated_operations,
     )

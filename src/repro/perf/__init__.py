@@ -26,9 +26,23 @@ An entry is keyed by a SHA-256 over the canonical JSON encoding of:
   ``flops_per_element`` for SIMT kernels.
 
 Nothing else may influence a timing result; if a new input does, it must be
-folded into the key (that is the invalidation rule).  Entries live for the
-process lifetime, are never persisted, and are returned **by reference** --
-treat cached result objects and their counters as immutable.
+folded into the key (that is the invalidation rule).  Entries are returned
+**by reference** -- treat cached result objects and their counters as
+immutable.
+
+Persistence
+-----------
+Entries live for the process lifetime by default, but a snapshot of the
+cache can be persisted next to the batch runner's on-disk result cache:
+:func:`persistent_timing_cache` loads ``<dir>/timing-cache.pkl`` on entry
+and atomically merges/flushes it on exit (temp-file + rename, union with
+whatever another process flushed in the meantime).  The snapshot container
+is stamped with ``SCHEMA_VERSION`` and ``SNAPSHOT_FORMAT_VERSION``;
+:meth:`TimingCache.load` orphans (skips wholesale) snapshots from any other
+schema or container format, so stale entries can never satisfy fresh
+lookups -- per-entry invalidation still rides the key contract above
+(design fingerprint + workload content + schema version inside every key).
+The CLI ``serve`` and ``model`` subcommands opt in via ``--cache-dir``.
 
 Registering a new kernel kind
 -----------------------------
@@ -52,18 +66,30 @@ re-simulating shared shapes per worker.
 
 from repro.perf.cache import (
     SCHEMA_VERSION,
+    SNAPSHOT_FILENAME,
+    SNAPSHOT_FORMAT_VERSION,
     TimingCache,
     cache_disabled,
     canonical_value,
     design_fingerprint,
+    load_snapshot,
+    persistent_timing_cache,
+    save_snapshot,
+    snapshot_path,
     timing_cache,
 )
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SNAPSHOT_FILENAME",
+    "SNAPSHOT_FORMAT_VERSION",
     "TimingCache",
     "cache_disabled",
     "canonical_value",
     "design_fingerprint",
+    "load_snapshot",
+    "persistent_timing_cache",
+    "save_snapshot",
+    "snapshot_path",
     "timing_cache",
 ]

@@ -9,17 +9,30 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import os
+import pickle
+import tempfile
 import threading
 from contextlib import contextmanager
 from dataclasses import fields, is_dataclass
 from functools import lru_cache
-from typing import Any, Callable, Dict, Iterator, Mapping, TypeVar
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Mapping, TypeVar, Union
 
 from repro.config.soc import DesignConfig
 
 #: Bump when a timing model changes shape, so stale entries can never be
 #: confused with fresh ones (relevant when snapshots cross process borders).
 SCHEMA_VERSION = 1
+
+#: Version of the snapshot *container* (the dict ``snapshot()`` returns and
+#: ``save_snapshot`` pickles).  Bump when the container shape changes, so an
+#: old on-disk file is orphaned instead of misread.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: File name of the on-disk snapshot, stored next to the batch runner's
+#: result cache when one is configured.
+SNAPSHOT_FILENAME = "timing-cache.pkl"
 
 T = TypeVar("T")
 
@@ -84,8 +97,37 @@ class TimingCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        #: Bumped on every :meth:`clear`.  Caches *derived from* timing-cache
+        #: contents key their validity on this counter so clearing the
+        #: timing cache clears them too.
+        self.generation = 0
         self._entries: Dict[str, Any] = {}
+        #: Named auxiliary memo tables (e.g. the serving iteration memo)
+        #: that ride along with the cache: cleared on :meth:`clear`,
+        #: included in :meth:`snapshot` / :meth:`load` under the same schema
+        #: gating.  Entries must be picklable plain data keyed by content.
+        self._namespaces: Dict[str, Dict[Any, Any]] = {}
         self._lock = threading.Lock()
+
+    def namespace(self, name: str) -> Dict[Any, Any]:
+        """A named memo table sharing this cache's lifecycle.
+
+        Higher-level memos whose entries are *derived from* cached timing
+        results (and therefore must be invalidated together with them) store
+        here instead of in module globals: the table empties on
+        :meth:`clear` and persists/loads with the snapshot.  The returned
+        dict is the live table -- callers own their key/value hygiene
+        (content-addressed keys, immutable plain-data values).
+
+        Unlike :meth:`get_or_compute`, namespace tables are *not* guarded
+        against concurrent mutation: callers mutate the returned dict
+        directly, so mutating a table while another thread snapshots the
+        cache is a data race.  The current consumers respect that contract
+        -- the serving scheduler runs single-threaded, and the persistence
+        layer flushes after runs complete.
+        """
+        with self._lock:
+            return self._namespaces.setdefault(name, {})
 
     def key(self, kind: str, design: DesignConfig, payload: Mapping[str, Any]) -> str:
         """Content hash identifying one kernel invocation's result.
@@ -124,29 +166,114 @@ class TimingCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def size_signature(self) -> Dict[str, int]:
+        """Entry counts per store (timing entries + each namespace table).
+
+        A cheap growth probe: the persistence layer flushes when any count
+        increased, so a run that only grew a derived memo (its kernel
+        entries all warm from disk) still persists that progress.
+        """
+        with self._lock:
+            signature = {"": len(self._entries)}
+            for name, table in self._namespaces.items():
+                signature[name] = len(table)
+            return signature
+
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 
+    def credit_hits(self, count: int) -> None:
+        """Record ``count`` lookups that were skipped by a higher-level memo.
+
+        When a coarser cache (e.g. the serving iteration memo) reuses a
+        result that covers several kernel-cache lookups, crediting those
+        lookups as hits keeps cross-layer accounting consistent: a memoized
+        run reports the same lookup totals a non-memoized warm run would.
+        No-op while the cache is disabled (a disabled cache counts nothing).
+        """
+        if count <= 0 or not self.enabled:
+            return
+        with self._lock:
+            self.hits += count
+
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries (and namespace tables), reset the counters."""
         with self._lock:
             self._entries.clear()
+            for table in self._namespaces.values():
+                table.clear()
             self.hits = 0
             self.misses = 0
+            self.generation += 1
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
 
     def snapshot(self) -> Dict[str, Any]:
-        """A picklable copy of the entries, for seeding worker processes."""
-        with self._lock:
-            return dict(self._entries)
+        """A picklable, schema-stamped copy of the entries.
 
-    def load(self, entries: Mapping[str, Any]) -> None:
-        """Merge ``entries`` (typically a :meth:`snapshot`) into the cache."""
+        The snapshot is a versioned container --
+        ``{"format", "schema", "entries", "namespaces"}`` -- so consumers
+        (worker seeding, the on-disk persistence layer) can tell which code
+        generation wrote it and orphan stale entries instead of misreading
+        them.  Namespace memo tables (see :meth:`namespace`) ride along so
+        derived memos survive process borders together with the entries
+        they were computed from.
+        """
+        with self._lock:
+            return {
+                "format": SNAPSHOT_FORMAT_VERSION,
+                "schema": SCHEMA_VERSION,
+                "entries": dict(self._entries),
+                "namespaces": {
+                    name: dict(table)
+                    for name, table in self._namespaces.items()
+                    if table
+                },
+            }
+
+    def load(self, snapshot: Mapping[str, Any]) -> int:
+        """Merge a :meth:`snapshot` into the cache; returns entries merged.
+
+        Snapshots stamped with a different schema or container format are
+        *orphaned* -- skipped wholesale, never partially loaded -- because a
+        timing-model change makes old results wrong for new lookups even
+        when the keys happen to collide.  A bare ``{key: entry}`` mapping
+        (the pre-versioned snapshot shape) is accepted for compatibility and
+        treated as current-schema.  The count returned covers timing entries
+        only; namespace tables merge alongside.
+        """
+        entries: Mapping[str, Any] = snapshot
+        namespaces: Mapping[str, Mapping[Any, Any]] = {}
+        if "format" in snapshot or "schema" in snapshot:
+            # A stamped container.  The stamps are checked *before* the
+            # payload shape: a future format that restructures "entries"
+            # must be orphaned by its stamp, never fall through to the
+            # legacy branch and have its container keys merged as entries.
+            # (Legacy bare mappings can't collide -- their keys are SHA-256
+            # hex digests, never "format"/"schema".)
+            if snapshot.get("schema") != SCHEMA_VERSION:
+                return 0
+            if snapshot.get("format") != SNAPSHOT_FORMAT_VERSION:
+                return 0
+            stamped = snapshot.get("entries")
+            if not isinstance(stamped, Mapping):
+                return 0
+            entries = stamped
+            loaded = snapshot.get("namespaces")
+            if isinstance(loaded, Mapping):
+                namespaces = loaded
+        merged = 0
         with self._lock:
             for key, value in entries.items():
-                self._entries.setdefault(key, value)
+                if key not in self._entries:
+                    self._entries[key] = value
+                    merged += 1
+            for name, table in namespaces.items():
+                target = self._namespaces.setdefault(name, {})
+                for key, value in table.items():
+                    target.setdefault(key, value)
+        return merged
 
 
 _GLOBAL_CACHE = TimingCache()
@@ -167,3 +294,98 @@ def cache_disabled() -> Iterator[None]:
         yield
     finally:
         cache.enabled = previous
+
+
+# --------------------------------------------------------------------------- #
+# On-disk snapshot persistence
+# --------------------------------------------------------------------------- #
+
+
+def snapshot_path(directory: Union[str, Path]) -> Path:
+    """Where the persistent snapshot lives inside a cache directory."""
+    return Path(directory) / SNAPSHOT_FILENAME
+
+
+def load_snapshot(
+    path: Union[str, Path], cache: "TimingCache" | None = None
+) -> int:
+    """Merge an on-disk snapshot into ``cache``; returns entries merged.
+
+    Missing, unreadable, corrupt or stale-schema files all count as a cold
+    start (return 0) -- the snapshot is an accelerator, never a dependency.
+    """
+    cache = cache if cache is not None else timing_cache()
+    try:
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+    except FileNotFoundError:
+        return 0
+    except Exception:
+        # Torn writes, newer pickle protocols, renamed classes: unpickling
+        # hostile bytes can raise nearly anything (UnpicklingError,
+        # ValueError, AttributeError, ...), and the snapshot is a pure
+        # accelerator -- any unreadable file is a cold start, and the next
+        # save overwrites it atomically.
+        return 0
+    if not isinstance(snapshot, Mapping):
+        return 0
+    return cache.load(snapshot)
+
+
+def save_snapshot(
+    path: Union[str, Path], cache: "TimingCache" | None = None
+) -> int:
+    """Atomically write ``cache`` merged with the existing on-disk snapshot.
+
+    Existing same-schema entries on disk are folded in first, so concurrent
+    processes flushing different working sets converge on the union instead
+    of overwriting each other wholesale; the write is temp-file + rename, so
+    readers never observe a torn snapshot.  Returns the entry count written.
+    """
+    cache = cache if cache is not None else timing_cache()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Fold the on-disk union through a scratch cache: disk entries load
+    # first, then are shadowed by nothing (same keys means same content by
+    # the key contract), and our own entries fill the rest.
+    merged = TimingCache()
+    load_snapshot(path, merged)
+    merged.load(cache.snapshot())
+    snapshot = merged.snapshot()
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(snapshot["entries"])
+
+
+@contextmanager
+def persistent_timing_cache(
+    directory: Union[str, Path], cache: "TimingCache" | None = None
+) -> Iterator[Path]:
+    """Load the snapshot in ``directory`` on entry, flush back on exit.
+
+    The CLI entry points (``python -m repro serve/model --cache-dir ...``)
+    and the batch runner wrap their runs in this context so repeat
+    invocations start from a warm kernel-timing cache: the first process
+    pays every distinct kernel simulation once, every later process replays
+    them as cache hits.  Flushing is skipped when the run added no entries
+    (pure-hit runs leave the file untouched).
+    """
+    cache = cache if cache is not None else timing_cache()
+    path = snapshot_path(directory)
+    load_snapshot(path, cache)
+    before = cache.size_signature()
+    try:
+        yield path
+    finally:
+        after = cache.size_signature()
+        if any(count > before.get(name, 0) for name, count in after.items()):
+            save_snapshot(path, cache)

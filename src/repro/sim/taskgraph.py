@@ -70,22 +70,46 @@ class ScheduledOperation:
 
 @dataclass
 class ScheduleResult:
-    """The outcome of scheduling an :class:`OperationGraph`."""
+    """The outcome of scheduling an :class:`OperationGraph`.
+
+    The derived views (:meth:`finish_times`, :meth:`critical_kind_cycles`)
+    are computed once on first access and cached: consumers such as the
+    serving scheduler probe finish times for every operation of every
+    iteration, and rebuilding the aggregates per probe was measurable on the
+    serving hot path.  The cached dicts are shared -- treat them as
+    read-only.
+    """
 
     total_cycles: int
     scheduled: Dict[str, ScheduledOperation]
     resource_busy: Dict[str, int]
+    _finish_times: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _kind_cycles: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def finish_times(self) -> Dict[str, int]:
+        """Operation name -> end cycle, built once per schedule."""
+        if self._finish_times is None:
+            self._finish_times = {
+                name: item.end for name, item in self.scheduled.items()
+            }
+        return self._finish_times
 
     def finish_time(self, name: str) -> int:
-        return self.scheduled[name].end
+        return self.finish_times()[name]
 
     def critical_kind_cycles(self) -> Dict[str, int]:
-        """Total busy cycles per operation kind (for reporting)."""
-        totals: Dict[str, int] = {}
-        for item in self.scheduled.values():
-            kind = item.operation.kind or "other"
-            totals[kind] = totals.get(kind, 0) + (item.end - item.start)
-        return totals
+        """Total busy cycles per operation kind (for reporting), cached."""
+        if self._kind_cycles is None:
+            totals: Dict[str, int] = {}
+            for item in self.scheduled.values():
+                kind = item.operation.kind or "other"
+                totals[kind] = totals.get(kind, 0) + (item.end - item.start)
+            self._kind_cycles = totals
+        return self._kind_cycles
 
 
 class OperationGraph:

@@ -20,6 +20,15 @@ still simulate each distinct shape at most once across the sweep.  MoE
 sweeps profit doubly -- all experts of one layer share a GEMM shape, so an
 entire expert fan-out costs one simulation (``ModelRunResult.timing_cache``
 reports the per-run hit/miss split).
+
+When a ``cache_dir`` is configured the timing cache additionally persists
+*across processes*: ``run_batch`` wraps the sweep in
+:func:`repro.perf.persistent_timing_cache`, loading
+``<cache_dir>/timing-cache.pkl`` before seeding workers and atomically
+merging the parent's (possibly grown) cache back on exit.  Repeat
+invocations therefore start with every previously simulated kernel warm;
+entries computed inside pool workers stay worker-local for that run and are
+re-simulated at most once by a later parent.
 """
 
 from __future__ import annotations
@@ -37,7 +46,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro import __version__
 from repro.config.soc import DataType
-from repro.perf import timing_cache
+from repro.perf import persistent_timing_cache, timing_cache
 from repro.workloads.graph import ServingTrace
 from repro.workloads.models import ModelSpec, resolve_spec, resolve_trace, scaled_spec
 from repro.workloads.lowering import run_model
@@ -242,8 +251,22 @@ def run_batch(
     inline (useful under test and on platforms without fork); otherwise the
     misses fan out over a :class:`ProcessPoolExecutor`.  Failing to start
     the pool (restricted environments) falls back to inline execution.
+
+    With a ``cache_dir``, the in-process timing cache is loaded from and
+    flushed back to a snapshot alongside the result cache, so repeat
+    invocations in fresh processes start with warm kernel timings.
     """
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if cache_dir is not None:
+        with persistent_timing_cache(cache_dir):
+            return _run_batch(jobs, ResultCache(cache_dir), max_workers)
+    return _run_batch(jobs, None, max_workers)
+
+
+def _run_batch(
+    jobs: Sequence[Union[BatchJob, ServingJob]],
+    cache: Optional[ResultCache],
+    max_workers: Optional[int],
+) -> BatchReport:
 
     hits: Dict[int, Dict[str, object]] = {}
     misses: List[int] = []

@@ -363,7 +363,7 @@ class TestWorkerCacheSeeding:
             assert snapshot
             timing_cache().clear()
             batch_module._seed_worker_cache(snapshot)
-            assert len(timing_cache()) == len(snapshot)
+            assert len(timing_cache()) == len(snapshot["entries"])
             # A seeded lookup is a hit, not a recomputation.
             run_gemm(DesignKind.VIRGO, 128)
             assert timing_cache().hits == 1 and timing_cache().misses == 0
@@ -382,6 +382,6 @@ class TestWorkerCacheSeeding:
             run_gemm(DesignKind.VIRGO, 128)
             run_flash_attention(DesignKind.VIRGO)
             restored = pickle.loads(pickle.dumps(timing_cache().snapshot()))
-            assert len(restored) == 2
+            assert len(restored["entries"]) == 2
         finally:
             timing_cache().clear()

@@ -13,6 +13,7 @@ from repro.config.soc import DataType
 from repro.kernels.flash_attention import FlashAttentionWorkload
 from repro.kernels.gemm import GemmWorkload
 from repro.perf import (
+    SCHEMA_VERSION,
     TimingCache,
     cache_disabled,
     canonical_value,
@@ -120,11 +121,79 @@ class TestTimingCacheMechanics:
     def test_snapshot_seeds_another_cache(self):
         run_gemm(DesignKind.VIRGO, 256)
         snapshot = timing_cache().snapshot()
+        assert snapshot["schema"] == SCHEMA_VERSION
+        other = TimingCache()
+        assert other.load(snapshot) == len(timing_cache())
+        assert len(other) == len(timing_cache())
+        key = next(iter(snapshot["entries"]))
+        assert key in other
+
+    def test_load_orphans_stale_schema_snapshots(self):
+        """A snapshot stamped with a different schema (or container format)
+        is skipped wholesale -- stale timing entries must never satisfy
+        fresh lookups, mirroring the batch-cache schema-bump behaviour."""
+        run_gemm(DesignKind.VIRGO, 256)
+        snapshot = timing_cache().snapshot()
+
+        stale_schema = dict(snapshot, schema=SCHEMA_VERSION + 1)
+        other = TimingCache()
+        assert other.load(stale_schema) == 0
+        assert len(other) == 0
+
+        stale_format = dict(snapshot, format=-1)
+        assert other.load(stale_format) == 0
+        assert len(other) == 0
+
+        # The untouched snapshot still loads, proving the guard (not the
+        # payload) rejected the stale variants.
+        assert other.load(snapshot) == len(snapshot["entries"])
+
+    def test_load_accepts_legacy_bare_mapping(self):
+        """Pre-versioned snapshots (bare key->entry mappings, as still used
+        for same-process seeding in older call sites) keep working."""
+        run_gemm(DesignKind.VIRGO, 256)
+        entries = timing_cache().snapshot()["entries"]
+        other = TimingCache()
+        assert other.load(entries) == len(entries)
+        assert len(other) == len(entries)
+
+    def test_namespace_rides_snapshot_and_clear(self):
+        """Auxiliary memo tables share the cache lifecycle: cleared with it,
+        carried by snapshots, schema-gated on load."""
+        cache = TimingCache()
+        table = cache.namespace("aux.memo")
+        table[("key", 1)] = {"value": 42}
+        assert cache.namespace("aux.memo") is table
+
+        snapshot = cache.snapshot()
         other = TimingCache()
         other.load(snapshot)
-        assert len(other) == len(timing_cache())
-        key = next(iter(snapshot))
-        assert key in other
+        assert other.namespace("aux.memo") == {("key", 1): {"value": 42}}
+
+        stale = dict(snapshot, schema=SCHEMA_VERSION + 1)
+        third = TimingCache()
+        third.load(stale)
+        assert third.namespace("aux.memo") == {}
+
+        cache.clear()
+        assert table == {}  # cleared in place: held references empty too
+        assert cache.namespace("aux.memo") is table
+
+    def test_credit_hits_adjusts_counters_only_when_enabled(self):
+        cache = TimingCache()
+        cache.credit_hits(3)
+        assert cache.hits == 3
+        cache.credit_hits(0)
+        assert cache.hits == 3
+        cache.enabled = False
+        cache.credit_hits(5)
+        assert cache.hits == 3
+
+    def test_clear_bumps_generation(self):
+        cache = TimingCache()
+        generation = cache.generation
+        cache.clear()
+        assert cache.generation == generation + 1
 
     def test_clear_resets_stats_and_entries(self):
         run_gemm(DesignKind.VIRGO, 256)
