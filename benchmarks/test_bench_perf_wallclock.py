@@ -14,9 +14,13 @@ tracks the *simulator's own* speed so performance regressions fail loudly:
   persistent snapshot, iterations replaying through the iteration memo --
   must beat the true cold path by >= 3x;
 * ``simulate_flash_attention`` with the steady-state-compressed tile loop
-  must beat full expansion by >= 10x on long-sequence configs.
+  must beat full expansion by >= 10x on long-sequence configs;
+* the observability instrumentation (``repro.obs``) with recording *off*
+  must stay under 2% of a warm serving run -- hot paths are allowed to be
+  instrumented only because an inactive site costs a couple of global
+  reads.
 
-The serving and flash ratios are additionally recorded in
+The serving, flash and observability ratios are additionally recorded in
 ``BENCH_serving_perf.json`` at the repo root.
 
 Run directly (also wired into the CI perf-smoke job)::
@@ -31,6 +35,7 @@ from pathlib import Path
 from conftest import print_comparison
 
 from repro.config.presets import DesignKind
+from repro.obs import phase, profiling
 from repro.kernels.flash_attention import (
     FlashAttentionWorkload,
     simulate_flash_attention,
@@ -218,6 +223,73 @@ def test_bench_serving_warm_vs_cold(benchmark, tmp_path):
     assert warm_result.iteration_memo["misses"] == 0
     assert warm_result.decode_steps_executed > 0
     assert speedup >= MIN_SERVING_WARM_SPEEDUP
+
+
+def test_bench_observability_off_overhead(benchmark):
+    """Recording-off instrumentation must cost < 2% of a warm serving run.
+
+    The activation contract (``repro.obs``): with no trace recorder and no
+    phase profiler active, an instrumented site is a couple of module-global
+    reads.  Measure the real cost of an inactive ``phase()`` site, count the
+    sites one *cold* serving run crosses (with a profiler; warm runs
+    replay memoized iterations and cross far fewer),
+    and bound each run's estimate -- padded by a 5x safety factor -- against
+    that run's own wall clock.
+    """
+    trace = "poisson-mixed"
+
+    timing_cache().clear()
+    cold = _best_of(lambda: run_serving(trace, "virgo"), rounds=1)
+    timing_cache().clear()
+    with profiling() as profiler:
+        run_serving(trace, "virgo")  # cold: every phase site fires
+    cold_sites = len(profiler.records)
+
+    benchmark.pedantic(lambda: run_serving(trace, "virgo"), rounds=5, iterations=1)
+    warm = min(benchmark.stats.stats.data)
+    with profiling() as profiler:
+        run_serving(trace, "virgo")  # warm: memo replays skip most sites
+    warm_sites = len(profiler.records)
+
+    rounds = 200_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with phase("bench.noop"):
+            pass
+    per_site = (time.perf_counter() - start) / rounds
+
+    # Each run is charged for the sites *it* crosses, padded 5x.
+    cold_percent = 100.0 * (cold_sites * per_site * 5.0) / cold
+    warm_percent = 100.0 * (warm_sites * per_site * 5.0) / warm
+    overhead_percent = max(cold_percent, warm_percent)
+    print_comparison(
+        "Wall clock: recording-off observability overhead (5x-padded)",
+        {
+            "inactive_site_ns": {"measured": per_site * 1e9},
+            "cold_sites": {"measured": float(cold_sites)},
+            "cold_serving_ms": {"measured": cold * 1e3},
+            "cold_overhead_percent": {"measured": cold_percent, "paper": 2.0},
+            "warm_sites": {"measured": float(warm_sites)},
+            "warm_serving_ms": {"measured": warm * 1e3},
+            "warm_overhead_percent": {"measured": warm_percent, "paper": 2.0},
+        },
+    )
+    _record_bench(
+        "observability_off_overhead",
+        {
+            "trace": trace,
+            "design": "virgo",
+            "inactive_site_ns": round(per_site * 1e9, 1),
+            "cold_sites": cold_sites,
+            "cold_serving_ms": round(cold * 1e3, 3),
+            "warm_sites": warm_sites,
+            "warm_serving_ms": round(warm * 1e3, 3),
+            "overhead_percent_5x_padded": round(overhead_percent, 4),
+            "max_overhead_percent": 2.0,
+        },
+    )
+    assert cold_sites > 0, "the serving path lost its phase instrumentation"
+    assert overhead_percent < 2.0
 
 
 def test_bench_flash_compression_speedup(benchmark):

@@ -12,6 +12,8 @@ Examples
     python -m repro model --name moe-decode --design virgo --hetero --moe-breakdown
     python -m repro model --batch --names gpt-prefill,gpt-decode --designs virgo,ampere
     python -m repro serve --trace poisson-mixed --latency-report
+    python -m repro serve --trace uniform-moe --trace-out trace.json --metrics
+    python -m repro trace-report --input trace.json --validate
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from typing import Sequence
 
 from repro.analysis.figures import (
@@ -53,6 +55,13 @@ from repro.analysis.serving import (
     serving_perf_stats,
     serving_request_rows,
 )
+from repro.analysis.trace_report import (
+    format_trace_summary,
+    load_trace,
+    trace_summary,
+    validate_chrome_trace,
+)
+from repro.obs import PhaseProfiler, TraceRecorder, profiling, tracing
 from repro.config.presets import DesignKind
 from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heterogeneous
 from repro.perf import persistent_timing_cache, timing_cache
@@ -79,6 +88,48 @@ def _maybe_persistent_cache(cache_dir):
     if cache_dir is None:
         return nullcontext()
     return persistent_timing_cache(cache_dir)
+
+
+def _observed_run(args: argparse.Namespace, label: str, runner):
+    """Run ``runner()`` under the observability contexts the flags ask for.
+
+    Returns ``(result, recorder, profiler)``; ``recorder`` / ``profiler`` are
+    ``None`` when ``--trace-out`` / ``--metrics`` were not given.  Both
+    contexts wrap the whole runner so cache load/save phases are captured too.
+    """
+    recorder = TraceRecorder(label=label) if args.trace_out else None
+    profiler = PhaseProfiler() if args.metrics else None
+    with ExitStack() as stack:
+        if recorder is not None:
+            stack.enter_context(tracing(recorder))
+        if profiler is not None:
+            stack.enter_context(profiling(profiler))
+        result = runner()
+    return result, recorder, profiler
+
+
+def _report_observability(args, result, recorder, profiler) -> None:
+    """Write the trace file and print the metrics / phase-profile blocks.
+
+    With ``--json`` the blocks go to stderr so stdout stays one parseable
+    JSON document.
+    """
+    out = sys.stderr if args.json else sys.stdout
+    if recorder is not None:
+        recorder.write(args.trace_out)
+        print(
+            f"trace: {len(recorder.spans)} spans -> {args.trace_out} "
+            "(load in ui.perfetto.dev or chrome://tracing)",
+            file=out,
+        )
+    if profiler is not None:
+        print("\nmetrics:", file=out)
+        for name, value in result.metrics.snapshot(include_diagnostic=True).items():
+            if isinstance(value, dict):
+                value = "  ".join(f"{key}={entry:g}" for key, entry in value.items())
+            print(f"  {name} = {value}", file=out)
+        print("\nphase profile (wall clock):", file=out)
+        print(profiler.format_totals(), file=out)
 
 
 def _design_from_name(name: str) -> DesignKind:
@@ -185,6 +236,11 @@ def _cmd_model(args: argparse.Namespace) -> None:
         return
 
     if args.batch:
+        if args.trace_out or args.metrics:
+            raise SystemExit(
+                "--trace-out/--metrics need a single in-process run; "
+                "they are not available with --batch (worker processes)"
+            )
         names = [name.strip() for name in args.names.split(",") if name.strip()]
         designs = [name.strip() for name in args.designs.split(",") if name.strip()]
         if not names or not designs:
@@ -218,9 +274,13 @@ def _cmd_model(args: argparse.Namespace) -> None:
         return
 
     kind = _design_from_name(args.design)
-    try:
+
+    def runner():
         with _maybe_persistent_cache(args.cache_dir):
-            result = run_model(args.name, kind, heterogeneous=args.hetero)
+            return run_model(args.name, kind, heterogeneous=args.hetero)
+
+    try:
+        result, recorder, profiler = _observed_run(args, args.name, runner)
     except (KeyError, ValueError) as error:
         # Unknown zoo name or an unsupported design/flag combination; both
         # messages already name the valid choices.
@@ -228,6 +288,7 @@ def _cmd_model(args: argparse.Namespace) -> None:
         raise SystemExit(message) from error
     if args.json:
         print(json.dumps(model_breakdown_report(result), indent=2))
+        _report_observability(args, result, recorder, profiler)
         return
 
     spec = resolve_spec(args.name)
@@ -256,6 +317,7 @@ def _cmd_model(args: argparse.Namespace) -> None:
         f"\ntiming cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses "
         f"({len(timing_cache())} entries in process)"
     )
+    _report_observability(args, result, recorder, profiler)
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -273,12 +335,16 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         return
 
     kind = _design_from_name(args.design)
-    try:
+
+    def runner():
         with _maybe_persistent_cache(args.cache_dir):
-            result = run_serving(
+            return run_serving(
                 args.trace, kind, heterogeneous=args.hetero,
                 iteration_memo=not args.no_iteration_memo,
             )
+
+    try:
+        result, recorder, profiler = _observed_run(args, args.trace, runner)
     except (KeyError, ValueError) as error:
         # Unknown trace name or an unsupported design/flag combination; both
         # messages already name the valid choices.
@@ -293,6 +359,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         # byte-stable across cache and memo states.
         report["perf"] = serving_perf_stats(result)
         print(json.dumps(report, indent=2))
+        _report_observability(args, result, recorder, profiler)
         return
 
     print(
@@ -322,6 +389,31 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         f"timing cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses "
         f"({len(timing_cache())} entries in process)"
     )
+    _report_observability(args, result, recorder, profiler)
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> None:
+    try:
+        trace = load_trace(args.input)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot load {args.input}: {error}") from error
+    errors = validate_chrome_trace(trace)
+    if args.validate:
+        for message in errors:
+            print(message, file=sys.stderr)
+        if errors:
+            raise SystemExit(f"{args.input}: {len(errors)} trace-event schema errors")
+        print(f"{args.input}: valid trace-event JSON ({len(trace['traceEvents'])} events)")
+        return
+    if errors:
+        raise SystemExit(
+            f"{args.input}: not a valid trace ({errors[0]}; --validate lists all)"
+        )
+    summary = trace_summary(trace, top=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return
+    print(format_trace_summary(summary, title=str(args.input)))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,6 +477,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "persistent kernel-timing snapshot)")
     model.add_argument("--workers", type=int, default=None,
                        help="process-pool size for --batch (default: cpu count)")
+    model.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the kernel schedule as Chrome trace-event "
+                            "JSON (open in ui.perfetto.dev)")
+    model.add_argument("--metrics", action="store_true",
+                       help="print the metrics-registry snapshot (including "
+                            "diagnostics) and a wall-clock phase profile")
     model.set_defaults(func=_cmd_model)
 
     serve = sub.add_parser(
@@ -417,7 +515,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-iteration-memo", action="store_true",
                        help="merge and schedule every iteration afresh "
                             "(disables the iteration-level memo)")
+    serve.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the serving schedule (request lifecycles, "
+                            "iterations, per-unit kernels) as Chrome "
+                            "trace-event JSON (open in ui.perfetto.dev)")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the metrics-registry snapshot (including "
+                            "diagnostics) and a wall-clock phase profile")
     serve.set_defaults(func=_cmd_serve)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="summarize or validate a --trace-out trace without a viewer",
+        description=(
+            "Digest a Chrome trace-event JSON file recorded with "
+            "'model --trace-out' or 'serve --trace-out': the longest spans, "
+            "a per-unit occupancy timeline and the per-iteration batch "
+            "composition.  --validate only checks the trace-event schema "
+            "(what Perfetto / chrome://tracing require to load the file) "
+            "and exits non-zero on violations."
+        ),
+    )
+    trace_report.add_argument("--input", required=True, metavar="FILE",
+                              help="trace-event JSON file to read")
+    trace_report.add_argument("--top", type=int, default=10,
+                              help="how many of the longest spans to list")
+    trace_report.add_argument("--json", action="store_true",
+                              help="emit the summary as JSON")
+    trace_report.add_argument("--validate", action="store_true",
+                              help="schema-check only; exit non-zero on errors")
+    trace_report.set_defaults(func=_cmd_trace_report)
     return parser
 
 

@@ -44,6 +44,12 @@ from repro.analysis.serving import (
     serving_latency_report,
     serving_request_rows,
 )
+from repro.analysis.trace_report import (
+    format_trace_summary,
+    load_trace,
+    trace_summary,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "compare_models",
@@ -58,6 +64,10 @@ __all__ = [
     "percentile",
     "serving_latency_report",
     "serving_request_rows",
+    "format_trace_summary",
+    "load_trace",
+    "trace_summary",
+    "validate_chrome_trace",
     "granularity_ablation",
     "accumulator_placement_ablation",
     "unified_unit_ablation",

@@ -11,6 +11,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Sequence, Tuple
 
+from repro.obs import occupancy_percent
 from repro.workloads.lowering import ModelRunResult
 
 #: Kernel-name segment marking one routed (``e<j>``) or shared (``s<j>``)
@@ -105,10 +106,9 @@ def model_overlap_report(result: ModelRunResult) -> Dict[str, object]:
         "serialized_cycles": serialized,
         "overlap_cycles_saved": serialized - result.total_cycles,
         "overlap_speedup": serialized / makespan,
-        "unit_occupancy_percent": {
-            resource: 100.0 * busy / makespan
-            for resource, busy in sorted(result.resource_busy.items())
-        },
+        "unit_occupancy_percent": occupancy_percent(
+            result.resource_busy, result.total_cycles
+        ),
         "moe_layers": moe_layers,
     }
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence
 
+from repro.obs import occupancy_percent
 from repro.workloads.serving import ServingRunResult
 
 REQUEST_HEADERS = [
@@ -33,13 +34,27 @@ PERCENTILES = (50, 95, 99)
 
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile of ``values`` (p in 0..100, values non-empty)."""
+    """Nearest-rank percentile of ``values`` (p in 0..100, values non-empty).
+
+    The rank is ``ceil(p * n / 100)``, computed in exact integer arithmetic
+    for integral ``p``: the float form ``ceil(p / 100 * n)`` overshoots
+    whenever ``p / 100`` rounds up in binary (p55 of 100 samples must be the
+    55th value, but ``0.55 * 100`` is ``55.000000000000007`` and ceils to
+    56).  Small samples are the visible casualty -- with one value every
+    percentile is that value, and with two, p50 must be the lower one --
+    which the explicit edge-case tests pin down.
+    """
     if not values:
         raise ValueError("percentile of an empty sample")
     if not 0 < p <= 100:
         raise ValueError(f"percentile must be in (0, 100], got {p}")
     ordered = sorted(values)
-    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    n = len(ordered)
+    if float(p).is_integer():
+        rank = (int(p) * n + 99) // 100
+    else:
+        rank = math.ceil(p * n / 100.0)
+    rank = min(max(1, rank), n)
     return ordered[rank - 1]
 
 
@@ -62,7 +77,6 @@ def serving_latency_report(result: ServingRunResult) -> Dict[str, object]:
     latencies = [float(request.latency_cycles) for request in result.requests]
     ttfts = [float(request.ttft_cycles) for request in result.requests]
     queueing = [float(request.queueing_cycles) for request in result.requests]
-    serving_span = max(1, result.serving_cycles)
     return {
         "kind": "serving_latency",
         "trace": result.trace,
@@ -78,10 +92,9 @@ def serving_latency_report(result: ServingRunResult) -> Dict[str, object]:
         "latency_cycles": latency_summary(latencies),
         "ttft_cycles": latency_summary(ttfts),
         "queueing_cycles": latency_summary(queueing),
-        "unit_occupancy_percent": {
-            resource: 100.0 * busy / serving_span
-            for resource, busy in sorted(result.resource_busy.items())
-        },
+        "unit_occupancy_percent": occupancy_percent(
+            result.resource_busy, result.serving_cycles
+        ),
     }
 
 

@@ -1,0 +1,189 @@
+"""Unified metrics registry: counters, gauges and histograms for run results.
+
+Every execution layer (kernel schedules, model runs, serving runs) used to
+grow its own ad-hoc stat fields; the registry replaces that with one
+namespace of named metrics collected during a run and snapshotted into the
+result's canonical encoding.
+
+Three metric kinds cover everything the simulator counts:
+
+* :class:`Counter` -- monotonically accumulated totals (kernel counts, unit
+  busy cycles, scheduler events);
+* :class:`Gauge` -- last-written values (makespans, occupancy percentages);
+* :class:`Histogram` -- streaming count/total/min/max over observations
+  (batch sizes, queueing delays).  Only moments are kept, never samples, so
+  a histogram's snapshot size is O(1) regardless of trace length.
+
+Metrics registered with ``diagnostic=True`` describe how *this process*
+happened to execute the run (timing-cache and iteration-memo hit rates) and
+are excluded from the default snapshot: ``to_dict()`` encodings are
+golden-pinned and cached on disk, so they must stay byte-stable across cache
+and memo states.  ``snapshot(include_diagnostic=True)`` (the CLI
+``--metrics`` path) reports everything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "occupancy_percent",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "diagnostic", "value")
+
+    def __init__(self, name: str, diagnostic: bool = False) -> None:
+        self.name = name
+        self.diagnostic = diagnostic
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "diagnostic", "value")
+
+    def __init__(self, name: str, diagnostic: bool = False) -> None:
+        self.name = name
+        self.diagnostic = diagnostic
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Streaming moments (count/total/min/max) over observed values."""
+
+    __slots__ = ("name", "diagnostic", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, diagnostic: bool = False) -> None:
+        self.name = name
+        self.diagnostic = diagnostic
+        self.count = 0
+        self.total: Number = 0
+        self.minimum: Optional[Number] = None
+        self.maximum: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "max": self.maximum if self.maximum is not None else 0,
+            "mean": self.mean,
+            "min": self.minimum if self.minimum is not None else 0,
+            "total": self.total,
+        }
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Accessors are get-or-create: ``registry.counter("serving.requests")``
+    returns the existing counter or registers a fresh one.  Re-registering a
+    name under a different kind (or a different ``diagnostic`` flag) is a
+    programming error and raises immediately -- a metric's identity is its
+    name, and two call sites disagreeing about it would silently corrupt the
+    snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get_or_create(self, name: str, kind: type, diagnostic: bool) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, diagnostic=diagnostic)
+            self._metrics[name] = metric
+            return metric
+        if type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        if metric.diagnostic != diagnostic:
+            raise ValueError(
+                f"metric {name!r} re-registered with diagnostic={diagnostic}"
+            )
+        return metric
+
+    def counter(self, name: str, diagnostic: bool = False) -> Counter:
+        return self._get_or_create(name, Counter, diagnostic)
+
+    def gauge(self, name: str, diagnostic: bool = False) -> Gauge:
+        return self._get_or_create(name, Gauge, diagnostic)
+
+    def histogram(self, name: str, diagnostic: bool = False) -> Histogram:
+        return self._get_or_create(name, Histogram, diagnostic)
+
+    def snapshot(self, include_diagnostic: bool = False) -> Dict[str, object]:
+        """Name-sorted values of every (non-diagnostic) metric.
+
+        The default snapshot is the one embedded in result ``to_dict()``
+        encodings; it deliberately omits diagnostic metrics so the canonical
+        bytes never depend on cache or memo state.
+        """
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+            if include_diagnostic or not metric.diagnostic
+        }
+
+
+def occupancy_percent(
+    resource_busy: Mapping[str, int], span_cycles: int
+) -> Dict[str, float]:
+    """Each resource's busy share of ``span_cycles``, name-sorted, in percent.
+
+    The single definition of per-unit occupancy shared by the model-level
+    overlap report (span = schedule makespan), the serving latency report
+    (span = serving cycles, idle arrival gaps excluded) and the metrics
+    registry.  ``span_cycles`` is clamped to at least 1 so an empty run
+    reports 0% rather than dividing by zero.
+    """
+    span = max(1, span_cycles)
+    return {
+        resource: 100.0 * busy / span
+        for resource, busy in sorted(resource_busy.items())
+    }

@@ -1,0 +1,135 @@
+"""Phase profiling: wall-clock spans around the simulator's own pipeline.
+
+Simulated cycles say where the *modelled hardware* spends time;
+:func:`phase` says where the *simulator process* spends time -- lowering,
+merging, list scheduling, kernel simulation, cache I/O.  Instrumented sites
+wrap their work in ``with phase("lower", model=name): ...``; the spans land
+in the active :class:`PhaseProfiler` (activated with :func:`profiling`) and,
+when a trace recorder is active with ``capture_phases`` set, on the trace's
+``profile`` process as wall-clock spans.
+
+With neither a profiler nor a recorder active, :func:`phase` short-circuits
+before touching the clock: the cost of an inactive site is two module-global
+reads, which keeps instrumentation safe on hot paths (and is what the
+perf-smoke overhead guard measures).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.trace import trace_recorder
+
+__all__ = [
+    "PhaseRecord",
+    "PhaseProfiler",
+    "phase",
+    "phase_profiler",
+    "profiling",
+]
+
+
+@dataclass
+class PhaseRecord:
+    """One completed phase span (wall-clock seconds)."""
+
+    name: str
+    seconds: float
+    args: Dict[str, object]
+
+
+class PhaseProfiler:
+    """Accumulates :class:`PhaseRecord` entries across a profiled region."""
+
+    def __init__(self) -> None:
+        self.records: List[PhaseRecord] = []
+
+    def add(self, name: str, seconds: float, args: Dict[str, object]) -> None:
+        self.records.append(PhaseRecord(name=name, seconds=seconds, args=args))
+
+    def totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase aggregate: call count and total wall-clock seconds."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            entry = summary.setdefault(record.name, {"calls": 0, "seconds": 0.0})
+            entry["calls"] += 1
+            entry["seconds"] += record.seconds
+        return summary
+
+    def format_totals(self) -> str:
+        """Human-readable per-phase totals, slowest first."""
+        totals = self.totals()
+        if not totals:
+            return "no phases recorded"
+        width = max(len(name) for name in totals)
+        lines = [
+            f"{name:<{width}}  {entry['seconds'] * 1e3:9.2f} ms  "
+            f"{int(entry['calls']):5d} calls"
+            for name, entry in sorted(
+                totals.items(), key=lambda item: -item[1]["seconds"]
+            )
+        ]
+        return "\n".join(lines)
+
+
+#: The process-wide active profiler (None = profiling off).
+_ACTIVE_PROFILER: Optional[PhaseProfiler] = None
+
+
+def phase_profiler() -> Optional[PhaseProfiler]:
+    """The active profiler, or ``None`` when phase profiling is off."""
+    return _ACTIVE_PROFILER
+
+
+@contextmanager
+def profiling(profiler: Optional[PhaseProfiler] = None) -> Iterator[PhaseProfiler]:
+    """Activate ``profiler`` (or a fresh one) for the duration of the context."""
+    global _ACTIVE_PROFILER
+    active = profiler if profiler is not None else PhaseProfiler()
+    previous = _ACTIVE_PROFILER
+    _ACTIVE_PROFILER = active
+    try:
+        yield active
+    finally:
+        _ACTIVE_PROFILER = previous
+
+
+class phase:
+    """Wall-clock span around one pipeline phase (no-op unless activated).
+
+    A plain slotted context manager rather than ``@contextmanager``: sites
+    sit on hot paths and the inactive case must stay cheap (no generator
+    frame -- just the two global reads plus one small object), which the
+    perf-smoke overhead guard measures.
+    """
+
+    __slots__ = ("name", "args", "_profiler", "_recorder", "_start")
+
+    def __init__(self, name: str, **args: object) -> None:
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> None:
+        profiler = _ACTIVE_PROFILER
+        recorder = trace_recorder()
+        if recorder is not None and not recorder.capture_phases:
+            recorder = None
+        self._profiler = profiler
+        self._recorder = recorder
+        if profiler is not None or recorder is not None:
+            self._start = time.perf_counter()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._profiler is None and self._recorder is None:
+            return False
+        seconds = time.perf_counter() - self._start
+        if self._profiler is not None:
+            self._profiler.add(self.name, seconds, self.args)
+        if self._recorder is not None:
+            self._recorder.add_phase_span(
+                self.name, self._start, seconds, self.args or None
+            )
+        return False

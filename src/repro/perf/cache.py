@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Mapping, TypeVar, Union
 
 from repro.config.soc import DesignConfig
+from repro.obs.phase import phase
 
 #: Bump when a timing model changes shape, so stale entries can never be
 #: confused with fresh ones (relevant when snapshots cross process borders).
@@ -315,21 +316,22 @@ def load_snapshot(
     start (return 0) -- the snapshot is an accelerator, never a dependency.
     """
     cache = cache if cache is not None else timing_cache()
-    try:
-        with open(path, "rb") as handle:
-            snapshot = pickle.load(handle)
-    except FileNotFoundError:
-        return 0
-    except Exception:
-        # Torn writes, newer pickle protocols, renamed classes: unpickling
-        # hostile bytes can raise nearly anything (UnpicklingError,
-        # ValueError, AttributeError, ...), and the snapshot is a pure
-        # accelerator -- any unreadable file is a cold start, and the next
-        # save overwrites it atomically.
-        return 0
-    if not isinstance(snapshot, Mapping):
-        return 0
-    return cache.load(snapshot)
+    with phase("cache.load", path=str(path)):
+        try:
+            with open(path, "rb") as handle:
+                snapshot = pickle.load(handle)
+        except FileNotFoundError:
+            return 0
+        except Exception:
+            # Torn writes, newer pickle protocols, renamed classes: unpickling
+            # hostile bytes can raise nearly anything (UnpicklingError,
+            # ValueError, AttributeError, ...), and the snapshot is a pure
+            # accelerator -- any unreadable file is a cold start, and the next
+            # save overwrites it atomically.
+            return 0
+        if not isinstance(snapshot, Mapping):
+            return 0
+        return cache.load(snapshot)
 
 
 def save_snapshot(
@@ -344,26 +346,27 @@ def save_snapshot(
     """
     cache = cache if cache is not None else timing_cache()
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    # Fold the on-disk union through a scratch cache: disk entries load
-    # first, then are shadowed by nothing (same keys means same content by
-    # the key contract), and our own entries fill the rest.
-    merged = TimingCache()
-    load_snapshot(path, merged)
-    merged.load(cache.snapshot())
-    snapshot = merged.snapshot()
-    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_name, path)
-    except BaseException:
+    with phase("cache.save", path=str(path)):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Fold the on-disk union through a scratch cache: disk entries load
+        # first, then are shadowed by nothing (same keys means same content by
+        # the key contract), and our own entries fill the rest.
+        merged = TimingCache()
+        load_snapshot(path, merged)
+        merged.load(cache.snapshot())
+        snapshot = merged.snapshot()
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return len(snapshot["entries"])
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return len(snapshot["entries"])
 
 
 @contextmanager

@@ -28,6 +28,7 @@ from repro.kernels.flash_attention import (
     simulate_flash_attention,
 )
 from repro.kernels.gemm import GemmKernelResult, GemmWorkload, simulate_gemm
+from repro.obs import phase
 from repro.perf import timing_cache
 from repro.sim.stats import Counters
 
@@ -173,12 +174,13 @@ def run_gemm(
     workload = size if isinstance(size, GemmWorkload) else GemmWorkload.square(size, dtype)
 
     def compute() -> GemmRunResult:
-        kernel_result = simulate_gemm(config, workload, dtype)
-        table = EnergyTable.for_design(config.style)
-        power = make_power_report(
-            config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
-        )
-        return GemmRunResult(design=config, kernel=kernel_result, power=power)
+        with phase("simulate.gemm", design=config.name, workload=workload.name):
+            kernel_result = simulate_gemm(config, workload, dtype)
+            table = EnergyTable.for_design(config.style)
+            power = make_power_report(
+                config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
+            )
+            return GemmRunResult(design=config, kernel=kernel_result, power=power)
 
     cache = timing_cache()
     return cache.get_or_compute(cache.key("gemm", config, {"workload": workload}), compute)
@@ -207,12 +209,18 @@ def run_flash_attention(
     config = make_design(design, DataType.FP32) if isinstance(design, DesignKind) else design
 
     def compute() -> FlashAttentionRunResult:
-        kernel_result = simulate_flash_attention(config, workload)
-        table = EnergyTable.for_design(config.style)
-        power = make_power_report(
-            config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
-        )
-        return FlashAttentionRunResult(design=config, kernel=kernel_result, power=power)
+        with phase(
+            "simulate.flash",
+            design=config.name,
+            seq_len=workload.seq_len,
+            heads=workload.heads,
+        ):
+            kernel_result = simulate_flash_attention(config, workload)
+            table = EnergyTable.for_design(config.style)
+            power = make_power_report(
+                config.name, kernel_result.counters, table, kernel_result.total_cycles, config.soc
+            )
+            return FlashAttentionRunResult(design=config, kernel=kernel_result, power=power)
 
     cache = timing_cache()
     return cache.get_or_compute(cache.key("flash", config, {"workload": workload}), compute)

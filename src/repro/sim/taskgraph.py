@@ -17,7 +17,7 @@ from the same warps, so both compete for the same issue resource).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.resources import Resource, ResourcePool
 
@@ -110,6 +110,21 @@ class ScheduleResult:
                 totals[kind] = totals.get(kind, 0) + (item.end - item.start)
             self._kind_cycles = totals
         return self._kind_cycles
+
+    def spans(self) -> List[Tuple[str, str, str, int, int]]:
+        """``(name, resource, kind, start, end)`` per operation, in placement
+        order -- the flat view trace recorders and timeline reports consume
+        (see :meth:`repro.obs.TraceRecorder.record_schedule`)."""
+        return [
+            (
+                item.operation.name,
+                item.operation.resource,
+                item.operation.kind or "op",
+                item.start,
+                item.end,
+            )
+            for item in self.scheduled.values()
+        ]
 
 
 class OperationGraph:

@@ -57,7 +57,9 @@ from repro.workloads.serving import run_serving
 #: shared_experts), which widen the hashed spec payload.
 #: 3: serving jobs joined the cache namespace (ServingJob hashes a whole
 #: trace payload) and job payloads grew a "kind" discriminator.
-CACHE_SCHEMA_VERSION = 3
+#: 4: run-result ``to_dict`` encodings grew the "metrics" snapshot
+#: (:mod:`repro.obs.metrics`), changing the cached payload shape.
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,7 @@ from repro.kernels.flash_attention import (
 )
 from repro.kernels.gemm import GemmWorkload
 from repro.kernels.heterogeneous import design_with_unit, small_unit_config
+from repro.obs import MetricsRegistry, occupancy_percent, phase, trace_recorder
 from repro.perf import timing_cache
 from repro.runner import run_flash_attention, run_gemm
 from repro.sim.resources import Resource
@@ -584,6 +585,10 @@ class ModelRunResult:
     #: diagnostic only and deliberately excluded from :meth:`to_dict` so the
     #: canonical encoding stays byte-stable across cache states.
     timing_cache: Dict[str, int] = field(default_factory=dict)
+    #: Unified metrics collected during execution (:mod:`repro.obs.metrics`).
+    #: ``to_dict`` embeds the non-diagnostic snapshot; cache/memo hit rates
+    #: are diagnostic and reported via ``snapshot(include_diagnostic=True)``.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry, compare=False)
 
     @property
     def design_name(self) -> str:
@@ -626,6 +631,7 @@ class ModelRunResult:
             "phase_energy_uj": dict(self.phase_energy_uj),
             "resource_busy_cycles": dict(self.resource_busy),
             "layers": [layer.to_dict() for layer in self.layers],
+            "metrics": self.metrics.snapshot(),
         }
 
 
@@ -633,10 +639,59 @@ def _scaled_cycles(cycles: int, scale: float) -> int:
     return max(1, int(round(cycles * scale)))
 
 
+def _trace_span_args(
+    schedule: KernelSchedule, kernel_stats: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, object]]:
+    """Per-kernel span annotations for the trace recorder.
+
+    Compressed steady-state kernels (flash/GEMM loop compression, see
+    :mod:`repro.sim.steady_state`) stay single spans -- the span *is* the
+    synthesized epoch covering every executed and extrapolated inner
+    operation -- annotated with ``compressed`` and the operation counts so a
+    timeline never forces full expansion.
+    """
+    extra: Dict[str, Dict[str, object]] = {}
+    for inv in schedule.invocations:
+        args: Dict[str, object] = {"layer": inv.layer, "phase": inv.phase}
+        stats = kernel_stats.get(inv.name)
+        if stats:
+            args["operations"] = stats.get("operation_count", 0)
+            args["executed_operations"] = stats.get("executed_operations", 0)
+            args["compressed"] = stats.get("extrapolated_operations", 0) > 0
+        extra[inv.name] = args
+    return extra
+
+
+def _model_metrics(
+    schedule: KernelSchedule,
+    placed,
+    durations: Dict[str, int],
+    cache_stats: Dict[str, int],
+) -> MetricsRegistry:
+    """The unified metrics registry for one executed kernel schedule."""
+    metrics = MetricsRegistry()
+    metrics.counter("schedule.kernels").inc(len(schedule.invocations))
+    metrics.gauge("schedule.makespan_cycles").set(placed.total_cycles)
+    kind_cycles: Dict[str, int] = {}
+    for inv in schedule.invocations:
+        kind_cycles[inv.kind] = kind_cycles.get(inv.kind, 0) + durations[inv.name]
+    for kind, cycles in sorted(kind_cycles.items()):
+        metrics.counter(f"schedule.kind_cycles.{kind}").inc(cycles)
+    for resource, busy in sorted(placed.resource_busy.items()):
+        metrics.counter(f"unit.busy_cycles.{resource}").inc(busy)
+    occupancy = occupancy_percent(placed.resource_busy, placed.total_cycles)
+    for resource, percent in occupancy.items():
+        metrics.gauge(f"unit.occupancy_percent.{resource}").set(percent)
+    metrics.counter("timing_cache.hits", diagnostic=True).inc(cache_stats["hits"])
+    metrics.counter("timing_cache.misses", diagnostic=True).inc(cache_stats["misses"])
+    return metrics
+
+
 def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
     """Run every kernel of ``schedule`` and assemble the model-level result."""
     design = schedule.design
     table = EnergyTable.for_design(design.style)
+    recorder = trace_recorder()
 
     # Phase 1: per-kernel simulation through the existing runner entry
     # points.  The runner memoizes per distinct kernel content, so a model
@@ -647,30 +702,36 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
     kernel_counters: Dict[str, Counters] = {}
     kernel_util: Dict[str, float] = {}
     kernel_macs: Dict[str, int] = {}
-    for inv in schedule.invocations:
-        if inv.kind == "gemm":
-            target = (
-                schedule.small_design
-                if inv.resource == SMALL_MATRIX_RESOURCE and schedule.small_design
-                else design
+    kernel_stats: Dict[str, Dict[str, int]] = {}
+    with phase("kernel_sim", model=schedule.model, kernels=len(schedule.invocations)):
+        for inv in schedule.invocations:
+            if inv.kind == "gemm":
+                target = (
+                    schedule.small_design
+                    if inv.resource == SMALL_MATRIX_RESOURCE and schedule.small_design
+                    else design
+                )
+                run = run_gemm(target, inv.workload, inv.workload.dtype)
+                cycles, counters = run.total_cycles, run.counters
+                kernel_util[inv.name] = run.kernel.mac_utilization
+                kernel_macs[inv.name] = inv.workload.macs
+                if recorder is not None:
+                    kernel_stats[inv.name] = run.kernel.schedule_stats
+            elif inv.kind == "flash":
+                run = run_flash_attention(design, inv.workload)
+                cycles, counters = run.total_cycles, run.kernel.counters
+                kernel_util[inv.name] = run.kernel.mac_utilization
+                kernel_macs[inv.name] = inv.workload.gemm_macs
+                if recorder is not None:
+                    kernel_stats[inv.name] = run.kernel.schedule_stats
+            else:
+                cycles, counters = _simt_cost(design, inv.elements, inv.flops_per_element)
+                kernel_util[inv.name] = 0.0
+                kernel_macs[inv.name] = 0
+            durations[inv.name] = _scaled_cycles(cycles, inv.work_scale)
+            kernel_counters[inv.name] = (
+                counters.scaled(inv.work_scale) if inv.work_scale != 1.0 else counters
             )
-            run = run_gemm(target, inv.workload, inv.workload.dtype)
-            cycles, counters = run.total_cycles, run.counters
-            kernel_util[inv.name] = run.kernel.mac_utilization
-            kernel_macs[inv.name] = inv.workload.macs
-        elif inv.kind == "flash":
-            run = run_flash_attention(design, inv.workload)
-            cycles, counters = run.total_cycles, run.kernel.counters
-            kernel_util[inv.name] = run.kernel.mac_utilization
-            kernel_macs[inv.name] = inv.workload.gemm_macs
-        else:
-            cycles, counters = _simt_cost(design, inv.elements, inv.flops_per_element)
-            kernel_util[inv.name] = 0.0
-            kernel_macs[inv.name] = 0
-        durations[inv.name] = _scaled_cycles(cycles, inv.work_scale)
-        kernel_counters[inv.name] = (
-            counters.scaled(inv.work_scale) if inv.work_scale != 1.0 else counters
-        )
     cache_stats = {
         "hits": cache.hits - hits_before,
         "misses": cache.misses - misses_before,
@@ -679,20 +740,25 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
     # Phase 2: place the kernels on the cluster's resources; independent
     # kernels (e.g. SIMT elementwise vs the next layer's GEMM, or small-unit
     # vs large-unit GEMMs in heterogeneous mode) overlap.
-    op_graph = OperationGraph()
-    op_graph.add_resource(Resource(MATRIX_RESOURCE))
-    op_graph.add_resource(Resource(SIMT_RESOURCE))
-    if schedule.heterogeneous:
-        op_graph.add_resource(Resource(SMALL_MATRIX_RESOURCE))
-    for inv in schedule.invocations:
-        op_graph.add_operation(
-            inv.name,
-            inv.resource,
-            durations[inv.name],
-            deps=[dep for dep in inv.deps if dep],
-            kind=inv.kind,
+    with phase("list_schedule", model=schedule.model):
+        op_graph = OperationGraph()
+        op_graph.add_resource(Resource(MATRIX_RESOURCE))
+        op_graph.add_resource(Resource(SIMT_RESOURCE))
+        if schedule.heterogeneous:
+            op_graph.add_resource(Resource(SMALL_MATRIX_RESOURCE))
+        for inv in schedule.invocations:
+            op_graph.add_operation(
+                inv.name,
+                inv.resource,
+                durations[inv.name],
+                deps=[dep for dep in inv.deps if dep],
+                kind=inv.kind,
+            )
+        placed = op_graph.schedule()
+    if recorder is not None:
+        recorder.record_schedule(
+            placed, extra_args=_trace_span_args(schedule, kernel_stats)
         )
-    placed = op_graph.schedule()
 
     # Phase 3: aggregate per layer, per phase and model-wide.
     layer_order: List[str] = []
@@ -722,11 +788,11 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
             kernel_util[inv.name] * kernel_macs[inv.name] for inv in invs
         )
         utilization = 100.0 * weighted / macs if macs else 0.0
-        phase = invs[0].phase
+        layer_phase = invs[0].phase
         layers.append(
             LayerRunResult(
                 layer=layer_name,
-                phase=phase,
+                phase=layer_phase,
                 kinds=tuple(dict.fromkeys(inv.kind for inv in invs)),
                 kernels=tuple(inv.name for inv in invs),
                 cycles=cycles,
@@ -737,8 +803,8 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
                 macs=macs,
             )
         )
-        phase_cycles[phase] = phase_cycles.get(phase, 0) + cycles
-        phase_energy[phase] = phase_energy.get(phase, 0.0) + energy_uj
+        phase_cycles[layer_phase] = phase_cycles.get(layer_phase, 0) + cycles
+        phase_energy[layer_phase] = phase_energy.get(layer_phase, 0.0) + energy_uj
         total_counters.merge(layer_counters)
 
     power = make_power_report(
@@ -757,6 +823,7 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
         phase_energy_uj=phase_energy,
         resource_busy=placed.resource_busy,
         timing_cache=cache_stats,
+        metrics=_model_metrics(schedule, placed, durations, cache_stats),
     )
 
 
@@ -774,5 +841,6 @@ def run_model(
     graph = model if isinstance(model, LayerGraph) else build_model(model)
     if isinstance(design, str):
         design = DesignKind(design.lower())
-    schedule = lower_graph(graph, design, heterogeneous=heterogeneous, dtype=dtype)
+    with phase("lower", model=graph.name):
+        schedule = lower_graph(graph, design, heterogeneous=heterogeneous, dtype=dtype)
     return execute_schedule(schedule)

@@ -51,6 +51,8 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.config.presets import DesignKind, make_design
 from repro.config.soc import DataType, DesignConfig
 from repro.kernels.heterogeneous import small_unit_config
+from repro.obs import CapturedSpans, MetricsRegistry, occupancy_percent, phase, trace_recorder
+from repro.obs.trace import REQUESTS_PROCESS, SCHEDULER_PROCESS, UNITS_PROCESS
 from repro.perf import design_fingerprint, timing_cache
 from repro.workloads.graph import RequestSpec, ServingTrace, bucket_context
 from repro.workloads.lowering import (
@@ -163,6 +165,10 @@ class ServingRunResult:
     #: scheduling afresh.  Diagnostic only, excluded from :meth:`to_dict`
     #: for the same byte-stability reason.
     iteration_memo: Dict[str, int] = field(default_factory=dict)
+    #: Unified metrics collected during the run (:mod:`repro.obs.metrics`).
+    #: ``to_dict`` embeds the non-diagnostic snapshot; cache/memo hit rates
+    #: are diagnostic and reported via ``snapshot(include_diagnostic=True)``.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry, compare=False)
 
     @property
     def design_name(self) -> str:
@@ -207,6 +213,7 @@ class ServingRunResult:
             "resource_busy_cycles": dict(self.resource_busy),
             "requests": [request.to_dict() for request in self.requests],
             "iterations": [record.to_dict() for record in self.iterations],
+            "metrics": self.metrics.snapshot(),
         }
 
 
@@ -264,6 +271,51 @@ _MEMO_NAMESPACE = "serving.iteration_memo"
 
 def _iteration_memo() -> Dict[tuple, _IterationOutcome]:
     return timing_cache().namespace(_MEMO_NAMESPACE)
+
+
+def _serving_metrics(
+    requests: List[RequestResult],
+    iterations: List[IterationRecord],
+    total_cycles: int,
+    serving_cycles: int,
+    kernel_count: int,
+    resource_busy: Dict[str, int],
+    cache_stats: Dict[str, int],
+    memo_stats: Dict[str, int],
+) -> MetricsRegistry:
+    """The unified metrics registry for one serving run.
+
+    Everything non-diagnostic is a pure function of the run's outcome
+    (requests, iterations, busy cycles) and therefore identical whether
+    iterations executed or replayed from the memo -- the property that keeps
+    ``to_dict`` byte-stable across cache states.  Cache and memo activity is
+    process-dependent and registered diagnostic.
+    """
+    metrics = MetricsRegistry()
+    metrics.counter("serving.requests").inc(len(requests))
+    metrics.counter("serving.iterations").inc(len(iterations))
+    metrics.counter("serving.decode_steps").inc(
+        sum(record.batch for record in iterations)
+    )
+    metrics.counter("serving.kernels").inc(kernel_count)
+    metrics.gauge("serving.makespan_cycles").set(total_cycles)
+    metrics.gauge("serving.serving_cycles").set(serving_cycles)
+    batch = metrics.histogram("serving.batch")
+    for record in iterations:
+        batch.observe(record.batch)
+    queueing = metrics.histogram("serving.queue_wait_cycles")
+    for request in requests:
+        queueing.observe(request.queueing_cycles)
+    for resource, busy in sorted(resource_busy.items()):
+        metrics.counter(f"unit.busy_cycles.{resource}").inc(busy)
+    occupancy = occupancy_percent(resource_busy, serving_cycles)
+    for resource, percent in occupancy.items():
+        metrics.gauge(f"unit.occupancy_percent.{resource}").set(percent)
+    metrics.counter("iteration_memo.hits", diagnostic=True).inc(memo_stats["hits"])
+    metrics.counter("iteration_memo.misses", diagnostic=True).inc(memo_stats["misses"])
+    metrics.counter("timing_cache.hits", diagnostic=True).inc(cache_stats["hits"])
+    metrics.counter("timing_cache.misses", diagnostic=True).inc(cache_stats["misses"])
+    return metrics
 
 
 class ServingScheduler:
@@ -380,12 +432,13 @@ class ServingScheduler:
         spec = scaled_spec(request.model, phase="decode", context_len=context)
         schedule = self._step_schedules.get((spec, unit))
         if schedule is None:
-            schedule = lower_graph(
-                build_model(spec),
-                self.design,
-                heterogeneous=self.heterogeneous,
-                dtype=self.dtype,
-            )
+            with phase("lower", model=request.model.family, context=context):
+                schedule = lower_graph(
+                    build_model(spec),
+                    self.design,
+                    heterogeneous=self.heterogeneous,
+                    dtype=self.dtype,
+                )
             if self.heterogeneous:
                 schedule = replace(
                     schedule,
@@ -432,11 +485,12 @@ class ServingScheduler:
         label: str,
     ) -> _IterationOutcome:
         """Merge, schedule and execute one iteration's batch for real."""
-        entries = [
-            (state.prefix, self.step_schedule(state.request, context, unit))
-            for state, context, unit in zip(active, contexts, units)
-        ]
-        merged = merge_schedules(entries, model=label)
+        with phase("merge", batch=len(active)):
+            entries = [
+                (state.prefix, self.step_schedule(state.request, context, unit))
+                for state, context, unit in zip(active, contexts, units)
+            ]
+            merged = merge_schedules(entries, model=label)
         result = execute_schedule(merged)
         # Per-request completion inside the iteration: the latest end of any
         # of the request's (prefixed) layers in the merged placement, found
@@ -473,6 +527,15 @@ class ServingScheduler:
         memo_stats = {"hits": 0, "misses": 0}
         memo_table = _iteration_memo() if self.iteration_memo else None
         iterations: List[IterationRecord] = []
+        recorder = trace_recorder()
+        # Iteration-relative kernel span shapes captured at memo-miss time,
+        # keyed like the memo itself.  The merged placement is a pure
+        # function of the composition, so a memo hit replays the captured
+        # shape shifted to the new iteration start -- the placement the memo
+        # skipped rebuilding.  Compositions warmed before tracing started
+        # have no shape to replay and fall back to synthesized per-unit
+        # epoch spans.
+        span_shapes: Dict[tuple, CapturedSpans] = {}
 
         while pending or active:
             # Admission: iteration-level continuous batching admits every
@@ -498,11 +561,22 @@ class ServingScheduler:
             memo = memo_table if cache.enabled else None
             key = self._memo_key(contexts, active, units) if memo is not None else None
             outcome = memo.get(key) if memo is not None else None
+            replayed = outcome is not None
             if outcome is None:
-                outcome = self._execute_iteration(
-                    trace, active, contexts, units,
-                    label=f"serve:{trace.name}#{len(iterations)}",
-                )
+                label = f"serve:{trace.name}#{len(iterations)}"
+                with phase("serving.iteration", index=len(iterations), batch=len(active)):
+                    if recorder is not None:
+                        marker = recorder.mark()
+                        with recorder.time_offset(now):
+                            outcome = self._execute_iteration(
+                                trace, active, contexts, units, label=label
+                            )
+                        if key is not None:
+                            span_shapes[key] = recorder.capture(marker, base=now)
+                    else:
+                        outcome = self._execute_iteration(
+                            trace, active, contexts, units, label=label
+                        )
                 if memo is not None:
                     memo[key] = outcome
                 memo_stats["misses"] += 1
@@ -516,9 +590,37 @@ class ServingScheduler:
                 # same lookup totals.
                 cache.credit_hits(outcome.cache_lookups)
                 cache_stats["hits"] += outcome.cache_lookups
+                if recorder is not None:
+                    shape = span_shapes.get(key)
+                    if shape is not None:
+                        recorder.replay(shape, base=now)
+                    else:
+                        for resource, busy in outcome.resource_busy:
+                            recorder.add_span(
+                                "epoch (memoized)",
+                                process=UNITS_PROCESS,
+                                track=resource,
+                                start=now,
+                                duration=outcome.span_cycles,
+                                category="epoch",
+                                args={
+                                    "busy_cycles": busy,
+                                    "kernels": outcome.kernel_count,
+                                },
+                            )
 
             for state, end in zip(active, outcome.entry_end_cycles):
                 done_at = now + end
+                if recorder is not None:
+                    recorder.add_span(
+                        f"step {state.steps_done}",
+                        process=REQUESTS_PROCESS,
+                        track=state.request.request_id,
+                        start=now,
+                        duration=end,
+                        category="decode_step",
+                        args={"iteration": len(iterations)},
+                    )
                 state.steps_done += 1
                 if state.first_token_cycle is None:
                     state.first_token_cycle = done_at
@@ -526,6 +628,21 @@ class ServingScheduler:
                     state.finish_cycle = done_at
                     finished[state.request.request_id] = state
 
+            if recorder is not None:
+                recorder.add_span(
+                    f"iteration {len(iterations)}",
+                    process=SCHEDULER_PROCESS,
+                    track="iterations",
+                    start=now,
+                    duration=outcome.span_cycles,
+                    category="iteration",
+                    args={
+                        "batch": len(active),
+                        "requests": [state.request.request_id for state in active],
+                        "memo": "replay" if replayed else ("miss" if memo is not None else "off"),
+                        "kernels": outcome.kernel_count,
+                    },
+                )
             iterations.append(
                 IterationRecord(
                     index=len(iterations),
@@ -557,6 +674,33 @@ class ServingScheduler:
             )
             for request in trace.sorted_requests()
         ]
+        if recorder is not None:
+            # Request lifecycle timeline: a queue span (arrival to admission)
+            # followed by a decode span (admission to finish) that nests the
+            # per-step spans recorded during the loop, one track per request.
+            for request in requests:
+                recorder.add_span(
+                    "queue",
+                    process=REQUESTS_PROCESS,
+                    track=request.request_id,
+                    start=request.arrival_cycle,
+                    duration=request.queueing_cycles,
+                    category="queue",
+                )
+                recorder.add_span(
+                    "decode",
+                    process=REQUESTS_PROCESS,
+                    track=request.request_id,
+                    start=request.admitted_cycle,
+                    duration=request.finish_cycle - request.admitted_cycle,
+                    category="decode",
+                    args={
+                        "model": request.model_family,
+                        "prompt_len": request.prompt_len,
+                        "decode_steps": request.decode_steps,
+                        "ttft_cycles": request.ttft_cycles,
+                    },
+                )
         return ServingRunResult(
             trace=trace.name,
             design=self.design,
@@ -571,6 +715,10 @@ class ServingScheduler:
             resource_busy=resource_busy,
             timing_cache=cache_stats,
             iteration_memo=memo_stats,
+            metrics=_serving_metrics(
+                requests, iterations, now, serving_cycles, kernel_count,
+                resource_busy, cache_stats, memo_stats,
+            ),
         )
 
     def isolated_step_spans(
@@ -613,6 +761,8 @@ def run_serving(
     iteration merges and schedules afresh); results are identical either way
     -- the memo is a pure accelerator, enforced by the property suite.
     """
-    return ServingScheduler(
+    scheduler = ServingScheduler(
         design, heterogeneous=heterogeneous, dtype=dtype, iteration_memo=iteration_memo
-    ).run(trace)
+    )
+    with phase("serving.run", trace=trace if isinstance(trace, str) else trace.name):
+        return scheduler.run(trace)

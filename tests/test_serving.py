@@ -251,6 +251,31 @@ class TestLatencyAnalysis:
         assert percentile(values, 99) == 100
         assert percentile([42], 50) == 42
 
+    def test_percentile_single_sample(self):
+        # n=1 degenerate: every percentile is the one value, including the
+        # low tail (rank clamps to 1, never 0).
+        for p in (1, 50, 95, 99, 100, 0.5, 37.5):
+            assert percentile([42], p) == 42
+
+    def test_percentile_two_samples(self):
+        # n=2 degenerate: p50 is exactly the lower value (rank ceil(1.0)=1);
+        # anything above the midpoint is the upper one.
+        assert percentile([10, 20], 50) == 10
+        assert percentile([10, 20], 50.5) == 20
+        assert percentile([10, 20], 95) == 20
+        assert percentile([10, 20], 99) == 20
+        assert percentile([10, 20], 100) == 20
+
+    def test_percentile_integral_p_has_no_float_overshoot(self):
+        # ceil(p / 100 * n) in floats overshoots whenever p / 100 rounds up
+        # in binary: 0.55 * 100 == 55.000000000000007 would make p55 of 100
+        # samples the 56th value.  Integral p must rank exactly.
+        values = list(range(1, 101))
+        assert percentile(values, 55) == 55
+        assert percentile(values, 7) == 7
+        assert percentile(values, 29) == 29
+        assert percentile(list(range(1, 51)), 14) == 7
+
     def test_percentile_rejects_bad_input(self):
         with pytest.raises(ValueError, match="empty"):
             percentile([], 50)
