@@ -341,6 +341,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             return run_serving(
                 args.trace, kind, heterogeneous=args.hetero,
                 iteration_memo=not args.no_iteration_memo,
+                policy=args.policy, kv_budget=args.kv_budget,
+                faults=args.inject, fault_seed=args.fault_seed,
             )
 
     try:
@@ -368,8 +370,17 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         + f": {len(result.requests)} requests, {result.iteration_count} iterations, "
         f"KV bucket {result.context_bucket}\n"
     )
-    print(format_table(REQUEST_HEADERS, serving_request_rows(result)))
+    headers = REQUEST_HEADERS + ["disposition"] if result.control_active else REQUEST_HEADERS
+    print(format_table(headers, serving_request_rows(result)))
     print()
+    if result.control_active and not args.latency_report:
+        dispositions = "  ".join(
+            f"{name} {count}" for name, count in result.dispositions.items()
+        )
+        print(
+            f"policy {result.policy}: goodput {result.goodput:.3f} "
+            f"({dispositions}; {result.preemption_count} preemptions)"
+        )
     if args.latency_report:
         # The report's header line already carries makespan/batch/throughput.
         print(format_latency_report(result))
@@ -515,6 +526,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-iteration-memo", action="store_true",
                        help="merge and schedule every iteration afresh "
                             "(disables the iteration-level memo)")
+    serve.add_argument("--policy", default="fcfs",
+                       help="scheduling policy: fcfs | kv-budget | preemptive-slo")
+    serve.add_argument("--kv-budget", type=int, default=None, metavar="BYTES",
+                       help="resident-KV HBM budget for the budgeted policies "
+                            "(default: the design's hbm_capacity_bytes)")
+    serve.add_argument("--inject", default=None, metavar="SPEC",
+                       help="fault-injection spec, comma-separated "
+                            "kind:rate:magnitude tokens, e.g. "
+                            "'spike:0.3:4.0,stall:0.2:5000,burst:0.5:30000'")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the --inject fault plan (same seed => "
+                            "byte-identical run)")
     serve.add_argument("--trace-out", metavar="FILE", default=None,
                        help="write the serving schedule (request lifecycles, "
                             "iterations, per-unit kernels) as Chrome "

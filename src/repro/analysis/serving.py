@@ -59,7 +59,14 @@ def percentile(values: Sequence[float], p: float) -> float:
 
 
 def latency_summary(values: Sequence[float]) -> Dict[str, float]:
-    """p50/p95/p99 plus mean and max of one metric across requests."""
+    """p50/p95/p99 plus mean and max of one metric across requests.
+
+    An empty sample (every request shed under a control-plane policy, so no
+    finished request carries the metric) reports all-zero -- the report must
+    stay serializable even when a run degrades to zero completions.
+    """
+    if not values:
+        return {**{f"p{p}": 0.0 for p in PERCENTILES}, "mean": 0.0, "max": 0.0}
     return {
         **{f"p{p}": percentile(values, p) for p in PERCENTILES},
         "mean": sum(values) / len(values),
@@ -74,10 +81,18 @@ def serving_latency_report(result: ServingRunResult) -> Dict[str, object]:
     span (iterations only, arrival gaps excluded), so it reports occupancy
     under load rather than diluting it with trace idle time.
     """
-    latencies = [float(request.latency_cycles) for request in result.requests]
-    ttfts = [float(request.ttft_cycles) for request in result.requests]
-    queueing = [float(request.queueing_cycles) for request in result.requests]
-    return {
+    # Percentiles cover finished requests only: a shed request has no
+    # latency, and folding zeros in would *flatter* the percentiles exactly
+    # when the system is degrading.  Goodput accounts for the unfinished.
+    finished = [request for request in result.requests if request.finished]
+    latencies = [float(request.latency_cycles) for request in finished]
+    ttfts = [float(request.ttft_cycles) for request in finished]
+    queueing = [
+        float(request.queueing_cycles)
+        for request in result.requests
+        if request.queueing_cycles is not None
+    ]
+    report: Dict[str, object] = {
         "kind": "serving_latency",
         "trace": result.trace,
         "design": result.design_name,
@@ -96,6 +111,14 @@ def serving_latency_report(result: ServingRunResult) -> Dict[str, object]:
             result.resource_busy, result.serving_cycles
         ),
     }
+    # Control-plane keys ride along only when the control plane was active,
+    # keeping the default report byte-identical to its golden.
+    if result.control_active:
+        report["policy"] = result.policy
+        report["goodput"] = result.goodput
+        report["dispositions"] = dict(result.dispositions)
+        report["preemption_count"] = result.preemption_count
+    return report
 
 
 def serving_perf_stats(result: ServingRunResult) -> Dict[str, Dict[str, int]]:
@@ -112,20 +135,33 @@ def serving_perf_stats(result: ServingRunResult) -> Dict[str, Dict[str, int]]:
     }
 
 
+def _cycles_cell(value) -> str:
+    return f"{value:,}" if value is not None else "-"
+
+
 def serving_request_rows(result: ServingRunResult) -> List[List[str]]:
-    """One formatted row per request for the CLI table."""
-    return [
-        [
+    """One formatted row per request for the CLI table.
+
+    Shed / timed-out requests have no TTFT or latency; their cells render as
+    ``-``.  A disposition column is appended only on control-plane runs so
+    the default table layout is unchanged.
+    """
+    control = result.control_active
+    rows = []
+    for request in result.requests:
+        row = [
             request.request_id,
             request.model_family,
             f"{request.arrival_cycle:,}",
-            f"{request.queueing_cycles:,}",
-            f"{request.ttft_cycles:,}",
-            f"{request.latency_cycles:,}",
+            _cycles_cell(request.queueing_cycles),
+            _cycles_cell(request.ttft_cycles),
+            _cycles_cell(request.latency_cycles),
             str(request.decode_steps),
         ]
-        for request in result.requests
-    ]
+        if control:
+            row.append(request.disposition or "-")
+        rows.append(row)
+    return rows
 
 
 def format_latency_report(result: ServingRunResult) -> str:
@@ -145,23 +181,33 @@ def format_latency_report(result: ServingRunResult) -> str:
     )
     perf = serving_perf_stats(result)
     memo, cache = perf["iteration_memo"], perf["timing_cache"]
-    return "\n".join(
-        [
+    lines = [
+        (
+            f"{report['requests']} requests over {report['iterations']} iterations: "
+            f"makespan {report['makespan_cycles']:,} cycles "
+            f"({report['serving_cycles']:,} serving), "
+            f"mean batch {report['mean_batch']:.2f}, "
+            f"{report['tokens_per_kilocycle']:.2f} tokens/kcycle"
+        ),
+        line("latency", report["latency_cycles"]),
+        line("ttft", report["ttft_cycles"]),
+        line("queueing", report["queueing_cycles"]),
+        f"unit occupancy (serving span): {occupancy}",
+    ]
+    if result.control_active:
+        dispositions = "  ".join(
+            f"{name} {count}" for name, count in report["dispositions"].items()
+        )
+        lines.insert(
+            1,
             (
-                f"{report['requests']} requests over {report['iterations']} iterations: "
-                f"makespan {report['makespan_cycles']:,} cycles "
-                f"({report['serving_cycles']:,} serving), "
-                f"mean batch {report['mean_batch']:.2f}, "
-                f"{report['tokens_per_kilocycle']:.2f} tokens/kcycle"
+                f"policy {report['policy']}: goodput {report['goodput']:.3f} "
+                f"({dispositions}; {report['preemption_count']} preemptions)"
             ),
-            line("latency", report["latency_cycles"]),
-            line("ttft", report["ttft_cycles"]),
-            line("queueing", report["queueing_cycles"]),
-            f"unit occupancy (serving span): {occupancy}",
-            (
-                f"iteration memo: {memo.get('hits', 0)} hits, "
-                f"{memo.get('misses', 0)} misses; timing cache: "
-                f"{cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses"
-            ),
-        ]
+        )
+    lines.append(
+        f"iteration memo: {memo.get('hits', 0)} hits, "
+        f"{memo.get('misses', 0)} misses; timing cache: "
+        f"{cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses"
     )
+    return "\n".join(lines)

@@ -77,6 +77,11 @@ class DramConfig:
 
     bandwidth_bytes_per_cycle: float = 32.0
     latency_cycles: int = 100
+    #: HBM capacity available for resident KV-cache state.  The serving
+    #: control plane (``repro.workloads.control``) bounds admission against
+    #: this budget; the default is generous enough that it never binds on the
+    #: trace zoo unless a tighter budget is passed explicitly.
+    hbm_capacity_bytes: int = 8 * 1024 ** 3
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing for a simulator: perturb the serving pipeline in controlled,
+*seeded* ways and assert the scheduler degrades gracefully instead of
+deadlocking, losing requests, or corrupting its caches.  Three fault kinds:
+
+* **Kernel latency spikes** -- a multiplier on the simulated duration of
+  every kernel in a selected iteration.  Spiked iterations bypass the
+  timing cache and the iteration memo in *both* directions (no read, no
+  write), so poisoned timings never persist into clean runs.
+* **Iteration stalls** -- a fixed number of dead cycles appended to a
+  selected iteration's span, modeling a host hiccup or a preemptive
+  background job on the accelerator.
+* **Arrival bursts** -- selected requests have their arrival pulled earlier
+  by a fixed offset, compressing the trace into overload bursts that stress
+  admission control.
+
+All randomness flows through :class:`random.Random` seeded with
+``f"{seed}:{key}"`` strings -- SHA-512 based, stable across processes and
+platforms, and independent of draw order, so a fault plan is a pure
+function of ``(seed, plan, trace)`` and two runs with the same
+``--fault-seed`` are byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.workloads.graph import ServingTrace
+
+#: ``--inject`` spec grammar: comma-separated ``kind:rate:magnitude`` tokens.
+_SPEC_HELP = (
+    "expected comma-separated kind:rate:magnitude tokens, e.g. "
+    "'spike:0.3:4.0,stall:0.2:5000,burst:0.5:30000'"
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative description of the faults to inject.
+
+    Rates are per-candidate probabilities in ``[0, 1]``: ``spike_rate`` and
+    ``stall_rate`` are drawn per scheduler iteration, ``burst_rate`` per
+    request.  Magnitudes: ``spike_multiplier`` scales kernel durations
+    (>= 1), ``stall_cycles`` is added to the iteration span, and
+    ``burst_pull_cycles`` is subtracted from the arrival cycle (floored at
+    zero).
+    """
+
+    seed: int = 0
+    spike_rate: float = 0.0
+    spike_multiplier: float = 1.0
+    stall_rate: float = 0.0
+    stall_cycles: int = 0
+    burst_rate: float = 0.0
+    burst_pull_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        for label in ("spike_rate", "stall_rate", "burst_rate"):
+            rate = getattr(self, label)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if self.spike_multiplier < 1.0:
+            raise ValueError("spike_multiplier must be >= 1 (spikes slow kernels down)")
+        if self.stall_cycles < 0:
+            raise ValueError("stall_cycles must be non-negative")
+        if self.burst_pull_cycles < 0:
+            raise ValueError("burst_pull_cycles must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True when the plan can inject at least one fault."""
+        return self.spike_rate > 0.0 or self.stall_rate > 0.0 or self.burst_rate > 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "spike_rate": self.spike_rate,
+            "spike_multiplier": self.spike_multiplier,
+            "stall_rate": self.stall_rate,
+            "stall_cycles": self.stall_cycles,
+            "burst_rate": self.burst_rate,
+            "burst_pull_cycles": self.burst_pull_cycles,
+        }
+
+    @staticmethod
+    def parse(spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``--inject`` spec string into a plan.
+
+        Each token is ``kind:rate:magnitude`` where kind is ``spike``
+        (magnitude = duration multiplier), ``stall`` (magnitude = cycles) or
+        ``burst`` (magnitude = arrival pull in cycles).
+        """
+        fields: Dict[str, object] = {"seed": seed}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            parts = token.split(":")
+            if len(parts) != 3:
+                raise ValueError(f"malformed fault token {token!r}; {_SPEC_HELP}")
+            kind, rate_text, magnitude_text = (part.strip() for part in parts)
+            try:
+                rate = float(rate_text)
+            except ValueError:
+                raise ValueError(f"fault token {token!r}: rate {rate_text!r} is not a number") from None
+            if kind == "spike":
+                try:
+                    multiplier = float(magnitude_text)
+                except ValueError:
+                    raise ValueError(
+                        f"fault token {token!r}: spike multiplier {magnitude_text!r} is not a number"
+                    ) from None
+                fields["spike_rate"] = rate
+                fields["spike_multiplier"] = multiplier
+            elif kind == "stall":
+                try:
+                    cycles = int(magnitude_text)
+                except ValueError:
+                    raise ValueError(
+                        f"fault token {token!r}: stall cycles {magnitude_text!r} is not an integer"
+                    ) from None
+                fields["stall_rate"] = rate
+                fields["stall_cycles"] = cycles
+            elif kind == "burst":
+                try:
+                    pull = int(magnitude_text)
+                except ValueError:
+                    raise ValueError(
+                        f"fault token {token!r}: burst pull {magnitude_text!r} is not an integer"
+                    ) from None
+                fields["burst_rate"] = rate
+                fields["burst_pull_cycles"] = pull
+            else:
+                raise ValueError(f"unknown fault kind {kind!r} in {token!r}; {_SPEC_HELP}")
+        if len(fields) == 1:
+            raise ValueError(f"empty fault spec {spec!r}; {_SPEC_HELP}")
+        return FaultPlan(**fields)  # type: ignore[arg-type]
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against iteration indices and requests.
+
+    Every decision draws from a fresh :class:`random.Random` keyed by
+    ``(seed, fault kind, candidate id)``, so decisions are independent of
+    each other and of how many other draws happened -- injecting one extra
+    fault kind never reshuffles the outcomes of the others, and memo hits
+    (which skip simulation work) cannot shift which iterations get faulted.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def _draw(self, kind: str, key: object) -> float:
+        return random.Random(f"{self.plan.seed}:{kind}:{key}").random()
+
+    def iteration_spike(self, index: int) -> Optional[float]:
+        """Duration multiplier for iteration ``index``, or None for no spike."""
+        if self.plan.spike_rate <= 0.0 or self.plan.spike_multiplier <= 1.0:
+            return None
+        if self._draw("spike", index) < self.plan.spike_rate:
+            return self.plan.spike_multiplier
+        return None
+
+    def iteration_stall(self, index: int) -> int:
+        """Dead cycles appended to iteration ``index``'s span (0 = no stall)."""
+        if self.plan.stall_rate <= 0.0 or self.plan.stall_cycles <= 0:
+            return 0
+        if self._draw("stall", index) < self.plan.stall_rate:
+            return self.plan.stall_cycles
+        return 0
+
+    def perturb_trace(self, trace: "ServingTrace") -> "ServingTrace":
+        """Apply arrival bursts, returning a new (still valid) trace.
+
+        Selected requests arrive ``burst_pull_cycles`` earlier (floored at
+        zero); the result is re-sorted so the trace stays monotonic.
+        """
+        if self.plan.burst_rate <= 0.0 or self.plan.burst_pull_cycles <= 0:
+            return trace
+        perturbed = []
+        for request in trace.requests:
+            if self._draw("burst", request.request_id) < self.plan.burst_rate:
+                arrival = max(0, request.arrival_cycle - self.plan.burst_pull_cycles)
+                request = replace(request, arrival_cycle=arrival)
+            perturbed.append(request)
+        perturbed.sort(key=lambda r: (r.arrival_cycle, r.request_id))
+        return replace(trace, requests=tuple(perturbed))

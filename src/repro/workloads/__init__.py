@@ -51,6 +51,20 @@ From the command line::
     python -m repro serve --trace poisson-mixed --latency-report
 """
 
+from repro.workloads.control import (
+    POLICIES,
+    SLO_CLASSES,
+    FcfsPolicy,
+    KvBudgetPolicy,
+    PolicyContext,
+    PreemptiveSloPolicy,
+    SchedulingPolicy,
+    SloClass,
+    policy_names,
+    request_kv_bytes,
+    resolve_policy,
+    resolve_slo,
+)
 from repro.workloads.graph import (
     AttentionLayer,
     ElementwiseLayer,
@@ -81,6 +95,7 @@ from repro.workloads.models import (
     resolve_spec,
     resolve_trace,
     scaled_spec,
+    slo_trace,
     trace_names,
     uniform_trace,
 )
@@ -95,6 +110,7 @@ from repro.workloads.lowering import (
     run_model,
 )
 from repro.workloads.serving import (
+    DISPOSITIONS,
     RequestResult,
     ServingRunResult,
     ServingScheduler,
@@ -113,6 +129,18 @@ from repro.workloads.batch import (
 )
 
 __all__ = [
+    "POLICIES",
+    "SLO_CLASSES",
+    "FcfsPolicy",
+    "KvBudgetPolicy",
+    "PolicyContext",
+    "PreemptiveSloPolicy",
+    "SchedulingPolicy",
+    "SloClass",
+    "policy_names",
+    "request_kv_bytes",
+    "resolve_policy",
+    "resolve_slo",
     "AttentionLayer",
     "ElementwiseLayer",
     "Layer",
@@ -140,6 +168,7 @@ __all__ = [
     "resolve_spec",
     "resolve_trace",
     "scaled_spec",
+    "slo_trace",
     "trace_names",
     "uniform_trace",
     "KernelInvocation",
@@ -150,6 +179,7 @@ __all__ = [
     "lower_graph",
     "merge_schedules",
     "run_model",
+    "DISPOSITIONS",
     "RequestResult",
     "ServingRunResult",
     "ServingScheduler",

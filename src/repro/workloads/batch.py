@@ -59,7 +59,9 @@ from repro.workloads.serving import run_serving
 #: trace payload) and job payloads grew a "kind" discriminator.
 #: 4: run-result ``to_dict`` encodings grew the "metrics" snapshot
 #: (:mod:`repro.obs.metrics`), changing the cached payload shape.
-CACHE_SCHEMA_VERSION = 4
+#: 5: serving jobs grew the control-plane knobs (policy, kv_budget) and
+#: serving traces may carry per-request SLO classes in their payloads.
+CACHE_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -128,6 +130,8 @@ class ServingJob:
     design: str = "virgo"
     heterogeneous: bool = False
     dtype: str = "fp16"
+    policy: str = "fcfs"
+    kv_budget: Optional[int] = None
 
     @cached_property
     def resolved(self) -> ServingTrace:
@@ -137,6 +141,10 @@ class ServingJob:
     @property
     def label(self) -> str:
         suffix = "+hetero" if self.heterogeneous else ""
+        if self.policy != "fcfs":
+            suffix += f"+{self.policy}"
+        if self.kv_budget is not None:
+            suffix += f"+kv{self.kv_budget}"
         return f"serve:{self.resolved.name}@{self.design}{suffix}"
 
     def key(self) -> str:
@@ -149,6 +157,8 @@ class ServingJob:
             "design": self.design.lower(),
             "heterogeneous": self.heterogeneous,
             "dtype": self.dtype.lower(),
+            "policy": self.policy,
+            "kv_budget": self.kv_budget,
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -228,7 +238,12 @@ def _execute_job(job: Union[BatchJob, "ServingJob"]) -> Dict[str, object]:
     dtype = DataType[job.dtype.upper()]
     if isinstance(job, ServingJob):
         return run_serving(
-            job.resolved, job.design, heterogeneous=job.heterogeneous, dtype=dtype
+            job.resolved,
+            job.design,
+            heterogeneous=job.heterogeneous,
+            dtype=dtype,
+            policy=job.policy,
+            kv_budget=job.kv_budget,
         ).to_dict()
     result = run_model(
         job.spec, job.design, heterogeneous=job.heterogeneous, dtype=dtype
@@ -371,22 +386,35 @@ def serving_sweep_jobs(
     traces: Sequence[Union[str, ServingTrace]] = ("poisson-mixed",),
     designs: Sequence[str] = ("virgo",),
     heterogeneous: Union[bool, Sequence[bool]] = (False, True),
+    policies: Sequence[str] = ("fcfs",),
+    kv_budget: Optional[int] = None,
 ) -> List[ServingJob]:
-    """The (trace x design x unit-config) serving sweep as a job list.
+    """The (trace x design x unit-config x policy) serving sweep as a job list.
 
     Each cell continuous-batches one request stream on one design; crossing
     the ``heterogeneous`` flags compares single- vs dual-matrix-unit serving
     under identical load.  Batch mixes are expressed as traces (the trace
     zoo's arrival families over different request-model mixes), so sweeping
-    mixes means sweeping traces.  Duplicate cells raise ``ValueError``.
+    mixes means sweeping traces.  Crossing ``policies`` compares admission
+    policies head-to-head on identical load; ``kv_budget`` applies to every
+    budgeted policy in the sweep (fcfs cells ignore it -- the job carries it
+    as ``None`` so their cache keys stay policy-independent).  Duplicate
+    cells raise ``ValueError``.
     """
     flags = [heterogeneous] if isinstance(heterogeneous, bool) else list(heterogeneous)
     return _reject_duplicate_cells(
         [
-            ServingJob(trace=trace, design=design, heterogeneous=flag)
+            ServingJob(
+                trace=trace,
+                design=design,
+                heterogeneous=flag,
+                policy=policy,
+                kv_budget=kv_budget if policy != "fcfs" else None,
+            )
             for trace in traces
             for design in designs
             for flag in flags
+            for policy in policies
         ]
     )
 

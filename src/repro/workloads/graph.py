@@ -40,7 +40,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.control import SloClass
 
 if TYPE_CHECKING:  # avoid a circular import; models.py imports this module
     from repro.workloads.models import ModelSpec
@@ -463,6 +465,10 @@ class RequestSpec:
     ``arrival_cycle`` is when the request enters the system; it joins the
     batch at the next iteration boundary (iteration-level continuous
     batching), and runs for exactly ``decode_steps`` decode iterations.
+    ``slo`` optionally attaches a service-level objective
+    (:class:`~repro.workloads.control.SloClass`): TTFT/TPOT targets judged
+    after the run, a priority for admission/preemption, and a queue deadline
+    after which a budgeted policy may shed the request.
     """
 
     request_id: str
@@ -470,6 +476,7 @@ class RequestSpec:
     arrival_cycle: int = 0
     prompt_len: int = 128
     decode_steps: int = 4
+    slo: Optional[SloClass] = None
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -498,13 +505,19 @@ class RequestSpec:
         return self.prompt_len + steps_done
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        # The "slo" key is emitted only when a class is attached: SLO-free
+        # requests keep the exact pre-control-plane encoding, which is what
+        # pins the serving goldens byte-identical under the default policy.
+        encoded: Dict[str, object] = {
             "request_id": self.request_id,
             "arrival_cycle": self.arrival_cycle,
             "prompt_len": self.prompt_len,
             "decode_steps": self.decode_steps,
             "model": self.model.to_dict(),
         }
+        if self.slo is not None:
+            encoded["slo"] = self.slo.to_dict()
+        return encoded
 
 
 @dataclass(frozen=True)
@@ -527,12 +540,27 @@ class ServingTrace:
         if self.context_bucket <= 0:
             raise ValueError(f"trace {self.name!r} needs a positive context bucket")
         seen = set()
+        previous: Optional[RequestSpec] = None
         for request in self.requests:
             if request.request_id in seen:
                 raise ValueError(
                     f"trace {self.name!r} has duplicate request id {request.request_id!r}"
                 )
             seen.add(request.request_id)
+            # Traces must already be in arrival order (ties broken by id):
+            # an unsorted stream would silently disagree with the arrival
+            # order every consumer assumes, so reject it at construction.
+            if previous is not None and (
+                (request.arrival_cycle, request.request_id)
+                < (previous.arrival_cycle, previous.request_id)
+            ):
+                raise ValueError(
+                    f"trace {self.name!r} is not sorted by arrival: request "
+                    f"{request.request_id!r} (arrival {request.arrival_cycle}) follows "
+                    f"{previous.request_id!r} (arrival {previous.arrival_cycle}); "
+                    "sort requests by (arrival_cycle, request_id)"
+                )
+            previous = request
 
     def sorted_requests(self) -> Tuple[RequestSpec, ...]:
         """Requests in arrival order (ties broken by id, deterministically)."""

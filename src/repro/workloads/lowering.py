@@ -687,8 +687,14 @@ def _model_metrics(
     return metrics
 
 
-def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
-    """Run every kernel of ``schedule`` and assemble the model-level result."""
+def execute_schedule(schedule: KernelSchedule, duration_scale: float = 1.0) -> ModelRunResult:
+    """Run every kernel of ``schedule`` and assemble the model-level result.
+
+    ``duration_scale`` multiplies every kernel's simulated duration (after
+    timing-cache retrieval, so cached entries are never poisoned) without
+    touching counters or energy -- the fault-injection hook for transient
+    latency spikes (:mod:`repro.faults`).
+    """
     design = schedule.design
     table = EnergyTable.for_design(design.style)
     recorder = trace_recorder()
@@ -728,7 +734,7 @@ def execute_schedule(schedule: KernelSchedule) -> ModelRunResult:
                 cycles, counters = _simt_cost(design, inv.elements, inv.flops_per_element)
                 kernel_util[inv.name] = 0.0
                 kernel_macs[inv.name] = 0
-            durations[inv.name] = _scaled_cycles(cycles, inv.work_scale)
+            durations[inv.name] = _scaled_cycles(cycles, inv.work_scale * duration_scale)
             kernel_counters[inv.name] = (
                 counters.scaled(inv.work_scale) if inv.work_scale != 1.0 else counters
             )

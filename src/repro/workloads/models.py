@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import asdict, dataclass, replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.workloads.graph import (
     AttentionLayer,
@@ -43,6 +43,7 @@ from repro.workloads.graph import (
     ServingTrace,
     TensorShape,
 )
+from repro.workloads.control import SloClass, resolve_slo
 
 #: FLOPs per element of a GeLU evaluated with the tanh approximation.
 GELU_FLOPS = 8.0
@@ -554,6 +555,28 @@ def uniform_trace(
     return ServingTrace(name=name, requests=specs, context_bucket=context_bucket)
 
 
+def slo_trace(
+    name: str,
+    base: Union[str, ServingTrace],
+    classes: Sequence = ("interactive", "standard", "batch"),
+) -> ServingTrace:
+    """A copy of ``base`` (zoo name or explicit) with SLO classes round-robin.
+
+    ``classes`` accepts :class:`~repro.workloads.control.SloClass` instances
+    or built-in class names (:data:`~repro.workloads.control.SLO_CLASSES`).
+    Round-robin over the request tuple keeps the assignment a pure function
+    of the trace content, so the batch runner's content hashing still holds.
+    """
+    if isinstance(base, str):
+        base = resolve_trace(base)
+    resolved: List[SloClass] = [resolve_slo(entry) for entry in classes]
+    specs = tuple(
+        replace(request, slo=_cycle(resolved, index))
+        for index, request in enumerate(base.requests)
+    )
+    return replace(base, name=name, requests=specs)
+
+
 def _mixed_models() -> Tuple[ModelSpec, ...]:
     return (
         REQUEST_MODELS["gpt-request"],
@@ -577,6 +600,12 @@ TRACE_ZOO: Dict[str, ServingTrace] = {
     ),
     "uniform-moe": uniform_trace("uniform-moe", (REQUEST_MODELS["moe-request"],)),
 }
+
+# SLO-classed variants: the same arrival streams with interactive / standard /
+# batch classes attached round-robin, for exercising the admission policies
+# and the goodput metric.  Defined after the base entries so they reuse them.
+TRACE_ZOO["bursty-slo"] = slo_trace("bursty-slo", TRACE_ZOO["bursty-gpt"])
+TRACE_ZOO["poisson-slo"] = slo_trace("poisson-slo", TRACE_ZOO["poisson-mixed"])
 
 
 def trace_names() -> List[str]:

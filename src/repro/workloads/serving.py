@@ -33,10 +33,24 @@ outcomes: no merging, no list scheduling, no kernel simulation.
 memo is invalidated whenever the timing cache is cleared and bypassed while
 it is disabled.
 
+Above the batcher sits a pluggable *control plane*
+(:mod:`repro.workloads.control`): a :class:`SchedulingPolicy` decides at
+every iteration boundary which queued requests to shed, which in-flight
+requests to preempt, and which to admit under a KV-budget.  The default
+``fcfs`` policy admits everything unconditionally -- byte-identical to the
+scheduler before the control plane existed -- while ``kv-budget`` and
+``preemptive-slo`` trade per-request SLO classes
+(:class:`~repro.workloads.control.SloClass`) against an HBM budget.  Every
+request then lands in exactly one disposition -- ``met`` / ``violated`` /
+``shed`` / ``timed_out`` -- and the fraction of arrivals meeting their SLO
+is the run's goodput.  A seeded :class:`~repro.faults.FaultPlan` can
+additionally inject kernel latency spikes, iteration stalls and arrival
+bursts, deterministically, to measure how gracefully each policy degrades.
+
 The result (:class:`ServingRunResult`) carries per-request records --
 arrival, admission, time to first token, finish -- from which the analysis
 layer (:mod:`repro.analysis.serving`) derives latency percentiles, TTFT,
-queueing delay and per-unit occupancy under load.
+queueing delay, goodput and per-unit occupancy under load.
 
 >>> from repro.workloads import run_serving
 >>> result = run_serving("poisson-mixed", "virgo")
@@ -45,12 +59,20 @@ queueing delay and per-unit occupancy under load.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config.presets import DesignKind, make_design
 from repro.config.soc import DataType, DesignConfig
+from repro.faults import FaultInjector, FaultPlan
 from repro.kernels.heterogeneous import small_unit_config
+from repro.workloads.control import (
+    PolicyContext,
+    SchedulingPolicy,
+    evaluate_disposition,
+    resolve_policy,
+)
 from repro.obs import CapturedSpans, MetricsRegistry, occupancy_percent, phase, trace_recorder
 from repro.obs.trace import REQUESTS_PROCESS, SCHEDULER_PROCESS, UNITS_PROCESS
 from repro.perf import design_fingerprint, timing_cache
@@ -66,41 +88,69 @@ from repro.workloads.lowering import (
 from repro.workloads.models import ModelSpec, build_model, resolve_trace, scaled_spec
 
 
+#: Terminal states a request can land in.  Finished requests are judged
+#: against their SLO targets (``met`` / ``violated``); ``shed`` requests were
+#: dropped from the admission queue without ever receiving service, and
+#: ``timed_out`` requests received some service, were preempted, and then hit
+#: their queue deadline before re-admission.
+DISPOSITIONS = ("met", "violated", "shed", "timed_out")
+
+
 @dataclass
 class RequestResult:
     """Lifecycle record of one request through a serving run.
 
     All cycle stamps are absolute simulation cycles; derived metrics
     (latency, TTFT, queueing delay) are properties so they can never drift
-    from the stamps they are defined by.
+    from the stamps they are defined by.  Under a non-default policy stamps
+    can be ``None`` -- a shed request was never admitted and has no finish --
+    and ``disposition`` records the terminal state; under the default FCFS
+    policy with no SLOs every stamp is set and ``disposition`` stays
+    ``None``, keeping the encoding byte-identical to the pre-control-plane
+    scheduler.
     """
 
     request_id: str
     arrival_cycle: int
-    admitted_cycle: int
-    first_token_cycle: int
-    finish_cycle: int
+    admitted_cycle: Optional[int]
+    first_token_cycle: Optional[int]
+    finish_cycle: Optional[int]
     prompt_len: int
     decode_steps: int
     model_family: str
+    disposition: Optional[str] = None
+    slo_class: Optional[str] = None
+    preemptions: int = 0
+    #: Cycle at which a shed/timed-out request left the system.
+    terminal_cycle: Optional[int] = None
 
     @property
-    def latency_cycles(self) -> int:
+    def latency_cycles(self) -> Optional[int]:
         """Arrival to last decode step retired: the end-to-end latency."""
+        if self.finish_cycle is None:
+            return None
         return self.finish_cycle - self.arrival_cycle
 
     @property
-    def ttft_cycles(self) -> int:
+    def ttft_cycles(self) -> Optional[int]:
         """Arrival to first decode step retired: time to first token."""
+        if self.first_token_cycle is None:
+            return None
         return self.first_token_cycle - self.arrival_cycle
 
     @property
-    def queueing_cycles(self) -> int:
-        """Arrival to admission: the wait for an iteration boundary."""
+    def queueing_cycles(self) -> Optional[int]:
+        """Arrival to first admission: the wait for an iteration boundary."""
+        if self.admitted_cycle is None:
+            return None
         return self.admitted_cycle - self.arrival_cycle
 
+    @property
+    def finished(self) -> bool:
+        return self.finish_cycle is not None
+
     def to_dict(self) -> Dict[str, object]:
-        return {
+        encoded: Dict[str, object] = {
             "request_id": self.request_id,
             "model_family": self.model_family,
             "arrival_cycle": self.arrival_cycle,
@@ -113,6 +163,16 @@ class RequestResult:
             "ttft_cycles": self.ttft_cycles,
             "queueing_cycles": self.queueing_cycles,
         }
+        # Control-plane keys appear only when a disposition was assigned
+        # (non-default policy, SLO-classed trace, or fault injection), so the
+        # default path keeps the exact historical encoding -- the serving
+        # goldens pin this.
+        if self.disposition is not None:
+            encoded["disposition"] = self.disposition
+            encoded["slo_class"] = self.slo_class
+            encoded["preemptions"] = self.preemptions
+            encoded["terminal_cycle"] = self.terminal_cycle
+        return encoded
 
 
 @dataclass
@@ -169,6 +229,21 @@ class ServingRunResult:
     #: ``to_dict`` embeds the non-diagnostic snapshot; cache/memo hit rates
     #: are diagnostic and reported via ``snapshot(include_diagnostic=True)``.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry, compare=False)
+    #: Scheduling policy the run used ("fcfs" unless overridden).
+    policy: str = "fcfs"
+    #: True when the control plane could alter behaviour (non-default policy,
+    #: SLO-classed trace, or fault injection).  Gates every new ``to_dict``
+    #: key so default runs stay byte-identical to the pre-control-plane
+    #: encoding.
+    control_active: bool = False
+    #: Fraction of arrivals whose SLO was met (``None`` on default runs).
+    goodput: Optional[float] = None
+    #: Disposition histogram: every arrival lands in exactly one bucket.
+    dispositions: Dict[str, int] = field(default_factory=dict)
+    #: Total evictions performed by the policy across the run.
+    preemption_count: int = 0
+    #: The fault plan injected into the run, if any.
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def design_name(self) -> str:
@@ -196,7 +271,7 @@ class ServingRunResult:
         return 1000.0 * self.decode_steps_executed / self.serving_cycles
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        encoded: Dict[str, object] = {
             "kind": "serving",
             "trace": self.trace,
             "design": self.design_name,
@@ -215,21 +290,53 @@ class ServingRunResult:
             "iterations": [record.to_dict() for record in self.iterations],
             "metrics": self.metrics.snapshot(),
         }
+        if self.control_active:
+            encoded["policy"] = self.policy
+            encoded["goodput"] = self.goodput
+            encoded["dispositions"] = dict(self.dispositions)
+            encoded["preemption_count"] = self.preemption_count
+            encoded["faults"] = self.fault_plan.to_dict() if self.fault_plan else None
+        return encoded
 
 
 @dataclass
 class _InFlight:
-    """Mutable per-request state while the request is in the batch."""
+    """Mutable per-request state while the request is in the batch.
+
+    ``admitted_cycle`` is the *first* admission (queueing delay measures the
+    initial wait, not re-admissions); ``resident_since`` is the latest
+    (re-)admission, the preemption policies' eviction-ordering key.
+    ``pending_penalty`` is the KV re-read cost a just-re-admitted request
+    pays before its next step completes -- consumed by the first iteration
+    after re-admission.
+    """
 
     request: RequestSpec
     admitted_cycle: int
     steps_done: int = 0
     first_token_cycle: Optional[int] = None
     finish_cycle: Optional[int] = None
+    resident_since: int = 0
+    pending_penalty: int = 0
+    preemptions: int = 0
 
     @property
     def prefix(self) -> str:
         return f"{self.request.request_id}/"
+
+
+@dataclass
+class _Queued:
+    """A request waiting for admission (fresh arrival or preempted)."""
+
+    request: RequestSpec
+    enqueued_cycle: int
+    steps_done: int = 0
+    preempted: bool = False
+    admitted_cycle: Optional[int] = None
+    first_token_cycle: Optional[int] = None
+    preemptions: int = 0
+    evicted_cycle: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -282,6 +389,10 @@ def _serving_metrics(
     resource_busy: Dict[str, int],
     cache_stats: Dict[str, int],
     memo_stats: Dict[str, int],
+    control_active: bool = False,
+    goodput: Optional[float] = None,
+    dispositions: Optional[Dict[str, int]] = None,
+    preemption_count: int = 0,
 ) -> MetricsRegistry:
     """The unified metrics registry for one serving run.
 
@@ -305,7 +416,15 @@ def _serving_metrics(
         batch.observe(record.batch)
     queueing = metrics.histogram("serving.queue_wait_cycles")
     for request in requests:
-        queueing.observe(request.queueing_cycles)
+        if request.queueing_cycles is not None:
+            queueing.observe(request.queueing_cycles)
+    if control_active:
+        metrics.gauge("serving.goodput").set(goodput if goodput is not None else 0.0)
+        for disposition in DISPOSITIONS:
+            metrics.counter(f"serving.dispositions.{disposition}").inc(
+                (dispositions or {}).get(disposition, 0)
+            )
+        metrics.counter("serving.preemptions").inc(preemption_count)
     for resource, busy in sorted(resource_busy.items()):
         metrics.counter(f"unit.busy_cycles.{resource}").inc(busy)
     occupancy = occupancy_percent(resource_busy, serving_cycles)
@@ -333,6 +452,8 @@ class ServingScheduler:
         heterogeneous: bool = False,
         dtype: DataType = DataType.FP16,
         iteration_memo: bool = True,
+        policy: Union[str, SchedulingPolicy, None] = None,
+        kv_budget: Optional[int] = None,
     ) -> None:
         if isinstance(design, str):
             design = DesignKind(design.lower())
@@ -340,6 +461,7 @@ class ServingScheduler:
         self.heterogeneous = heterogeneous
         self.dtype = dtype
         self.iteration_memo = iteration_memo
+        self.policy = resolve_policy(policy, kv_budget)
         self._step_schedules: Dict[Tuple[ModelSpec, str], KernelSchedule] = {}
         # The previous iteration's first-fit-decreasing unit packing, reused
         # verbatim while the in-flight composition is unchanged (the common
@@ -454,25 +576,36 @@ class ServingScheduler:
         return schedule
 
     def _memo_key(
-        self, contexts: List[int], active: List[_InFlight], units: List[str]
+        self,
+        contexts: List[int],
+        active: List[_InFlight],
+        units: List[str],
+        penalties: Optional[List[int]] = None,
     ) -> tuple:
         """Content key of one iteration's merged schedule.
 
-        Covers everything that can influence the merged placement: the
-        design (by fingerprint), the unit layout, the dtype and the *ordered*
-        sequence of (request model, bucketed context, unit) triples --
+        Covers everything that can influence the merged placement *and* the
+        iteration's effective span: the design (by fingerprint), the unit
+        layout, the dtype and the *ordered* sequence of (request model,
+        bucketed context, unit, pending KV re-read penalty) tuples --
         ordered, not a plain multiset, because the list scheduler reserves
         resources in insertion order, so the batch order is part of the
-        schedule content.  Request identities are deliberately absent:
+        schedule content.  The penalty element folds preemption state into
+        the key (``docs/perf-contract.md`` contract 4): an iteration whose
+        batch includes a just-re-admitted request never aliases a
+        penalty-free composition, so memo on/off runs stay byte-identical
+        under preemption.  Request identities are deliberately absent:
         prefixes rename kernels but never move them.
         """
+        if penalties is None:
+            penalties = [0] * len(active)
         return (
             design_fingerprint(self.design),
             self.heterogeneous,
             self.dtype,
             tuple(
-                (state.request.model, context, unit)
-                for state, context, unit in zip(active, contexts, units)
+                (state.request.model, context, unit, penalty)
+                for state, context, unit, penalty in zip(active, contexts, units, penalties)
             ),
         )
 
@@ -483,6 +616,7 @@ class ServingScheduler:
         contexts: List[int],
         units: List[str],
         label: str,
+        duration_scale: float = 1.0,
     ) -> _IterationOutcome:
         """Merge, schedule and execute one iteration's batch for real."""
         with phase("merge", batch=len(active)):
@@ -491,7 +625,7 @@ class ServingScheduler:
                 for state, context, unit in zip(active, contexts, units)
             ]
             merged = merge_schedules(entries, model=label)
-        result = execute_schedule(merged)
+        result = execute_schedule(merged, duration_scale=duration_scale)
         # Per-request completion inside the iteration: the latest end of any
         # of the request's (prefixed) layers in the merged placement, found
         # in one pass over the layers instead of one scan per request.
@@ -510,12 +644,48 @@ class ServingScheduler:
             cache_misses=result.timing_cache.get("misses", 0),
         )
 
-    def run(self, trace: Union[str, ServingTrace]) -> ServingRunResult:
+    def _readmission_penalty(self, entry: _Queued, ctx: PolicyContext) -> int:
+        """KV re-read cost of re-admitting a preempted request, in cycles.
+
+        Eviction drops the request's KV state from HBM residency; coming
+        back, the state streams in again over the DRAM channel -- capacity
+        bytes over channel bandwidth, plus the channel latency.
+        """
+        dram = self.design.soc.dram
+        kv_bytes = ctx.kv_bytes(entry.request, entry.steps_done)
+        return int(math.ceil(kv_bytes / dram.bandwidth_bytes_per_cycle)) + dram.latency_cycles
+
+    def run(
+        self,
+        trace: Union[str, ServingTrace],
+        faults: Optional[FaultPlan] = None,
+    ) -> ServingRunResult:
         """Continuous-batch ``trace`` to completion and report per-request metrics."""
         trace = resolve_trace(trace) if isinstance(trace, str) else trace
+        injector = FaultInjector(faults) if faults is not None and faults.active else None
+        if injector is not None:
+            trace = injector.perturb_trace(trace)
+        # The control plane is "active" -- and its extra result fields are
+        # populated -- only when something can deviate from historical
+        # behaviour.  Default FCFS runs over SLO-free traces without faults
+        # take the exact pre-control-plane path, which pins the goldens.
+        control_active = (
+            self.policy.name != "fcfs"
+            or injector is not None
+            or any(request.slo is not None for request in trace.requests)
+        )
+        ctx = PolicyContext(
+            design=self.design,
+            dtype=self.dtype,
+            trace=trace,
+            kv_budget_bytes=self.design.soc.dram.hbm_capacity_bytes,
+        )
         pending: List[RequestSpec] = list(trace.sorted_requests())
+        queued: List[_Queued] = []
         active: List[_InFlight] = []
         finished: Dict[str, _InFlight] = {}
+        terminated: Dict[str, Tuple[_Queued, str, int]] = {}
+        preemption_count = 0
 
         now = 0
         serving_cycles = 0
@@ -537,13 +707,80 @@ class ServingScheduler:
         # epoch spans.
         span_shapes: Dict[tuple, CapturedSpans] = {}
 
-        while pending or active:
-            # Admission: iteration-level continuous batching admits every
+        while pending or queued or active:
+            # Arrivals: iteration-level continuous batching enqueues every
             # request whose arrival has passed at the iteration boundary.
             while pending and pending[0].arrival_cycle <= now:
-                active.append(_InFlight(request=pending.pop(0), admitted_cycle=now))
+                request = pending.pop(0)
+                queued.append(_Queued(request=request, enqueued_cycle=request.arrival_cycle))
+
+            # Control plane: shed hopeless waiters, preempt for higher
+            # priorities, admit under the iteration budget.  The default
+            # FCFS policy sheds nothing, evicts nothing and admits the whole
+            # queue, reproducing the historical loop exactly.
+            for entry in self.policy.shed(queued, now, ctx):
+                queued.remove(entry)
+                disposition = "timed_out" if entry.preempted else "shed"
+                terminated[entry.request.request_id] = (entry, disposition, now)
+            if queued and active:
+                for state in self.policy.evict(active, queued, now, ctx):
+                    active.remove(state)
+                    preemption_count += 1
+                    queued.append(
+                        _Queued(
+                            request=state.request,
+                            enqueued_cycle=now,
+                            steps_done=state.steps_done,
+                            preempted=True,
+                            admitted_cycle=state.admitted_cycle,
+                            first_token_cycle=state.first_token_cycle,
+                            preemptions=state.preemptions + 1,
+                            evicted_cycle=now,
+                        )
+                    )
+            if queued:
+                admitted = self.policy.admit(queued, active, now, ctx)
+                if not admitted and not active:
+                    # Progress safety valve: with nothing decoding and
+                    # nothing admissible, force the oldest waiter in even
+                    # over budget -- the scheduler must never deadlock on a
+                    # request too large for the configured budget.
+                    admitted = [
+                        min(queued, key=lambda e: (e.enqueued_cycle, e.request.request_id))
+                    ]
+                for entry in admitted:
+                    queued.remove(entry)
+                    penalty = (
+                        self._readmission_penalty(entry, ctx) if entry.preempted else 0
+                    )
+                    if recorder is not None and entry.evicted_cycle is not None:
+                        recorder.add_span(
+                            "preempted",
+                            process=REQUESTS_PROCESS,
+                            track=entry.request.request_id,
+                            start=entry.evicted_cycle,
+                            duration=now - entry.evicted_cycle,
+                            category="preempted",
+                            args={"readmission_penalty_cycles": penalty},
+                        )
+                    active.append(
+                        _InFlight(
+                            request=entry.request,
+                            admitted_cycle=(
+                                entry.admitted_cycle
+                                if entry.admitted_cycle is not None
+                                else now
+                            ),
+                            steps_done=entry.steps_done,
+                            first_token_cycle=entry.first_token_cycle,
+                            resident_since=now,
+                            pending_penalty=penalty,
+                            preemptions=entry.preemptions,
+                        )
+                    )
             if not active:
-                now = pending[0].arrival_cycle
+                if pending:
+                    now = pending[0].arrival_cycle
                 continue
 
             contexts = [
@@ -551,6 +788,16 @@ class ServingScheduler:
                 for state in active
             ]
             units = self.iteration_units(trace, active, contexts)
+            penalties = [state.pending_penalty for state in active]
+
+            # Fault injection: a spiked iteration executes with scaled kernel
+            # durations and bypasses the memo in both directions -- no read
+            # (a clean replay would dodge the spike) and no write (the
+            # poisoned outcome must not leak into clean iterations) -- so
+            # memo on/off runs stay byte-identical under faults.
+            index = len(iterations)
+            spike = injector.iteration_spike(index) if injector is not None else None
+            stall = injector.iteration_stall(index) if injector is not None else 0
 
             # Iteration memoization: KV bucketing makes batch compositions
             # repeat within (and across) runs, and the merged schedule is a
@@ -558,24 +805,30 @@ class ServingScheduler:
             # replays the recorded outcome instead of re-merging and
             # re-scheduling.  Disabled alongside the timing cache: the cold
             # path must measure real work.
-            memo = memo_table if cache.enabled else None
-            key = self._memo_key(contexts, active, units) if memo is not None else None
+            memo = memo_table if cache.enabled and spike is None else None
+            key = (
+                self._memo_key(contexts, active, units, penalties)
+                if memo is not None
+                else None
+            )
             outcome = memo.get(key) if memo is not None else None
             replayed = outcome is not None
             if outcome is None:
-                label = f"serve:{trace.name}#{len(iterations)}"
-                with phase("serving.iteration", index=len(iterations), batch=len(active)):
+                label = f"serve:{trace.name}#{index}"
+                with phase("serving.iteration", index=index, batch=len(active)):
                     if recorder is not None:
                         marker = recorder.mark()
                         with recorder.time_offset(now):
                             outcome = self._execute_iteration(
-                                trace, active, contexts, units, label=label
+                                trace, active, contexts, units, label=label,
+                                duration_scale=spike if spike is not None else 1.0,
                             )
                         if key is not None:
                             span_shapes[key] = recorder.capture(marker, base=now)
                     else:
                         outcome = self._execute_iteration(
-                            trace, active, contexts, units, label=label
+                            trace, active, contexts, units, label=label,
+                            duration_scale=spike if spike is not None else 1.0,
                         )
                 if memo is not None:
                     memo[key] = outcome
@@ -609,19 +862,30 @@ class ServingScheduler:
                                 },
                             )
 
+            # The iteration's effective span: the merged schedule's makespan,
+            # stretched by any re-admission penalty serialized in front of a
+            # request's step, plus an injected stall.  All zero on the
+            # default path, where effective == outcome.span_cycles exactly.
+            effective_span = outcome.span_cycles
             for state, end in zip(active, outcome.entry_end_cycles):
-                done_at = now + end
+                if state.pending_penalty:
+                    effective_span = max(effective_span, end + state.pending_penalty)
+            effective_span += stall
+
+            for state, end in zip(active, outcome.entry_end_cycles):
+                done_at = now + state.pending_penalty + end
                 if recorder is not None:
                     recorder.add_span(
                         f"step {state.steps_done}",
                         process=REQUESTS_PROCESS,
                         track=state.request.request_id,
                         start=now,
-                        duration=end,
+                        duration=state.pending_penalty + end,
                         category="decode_step",
-                        args={"iteration": len(iterations)},
+                        args={"iteration": index},
                     )
                 state.steps_done += 1
+                state.pending_penalty = 0
                 if state.first_token_cycle is None:
                     state.first_token_cycle = done_at
                 if state.steps_done == state.request.decode_steps:
@@ -630,11 +894,11 @@ class ServingScheduler:
 
             if recorder is not None:
                 recorder.add_span(
-                    f"iteration {len(iterations)}",
+                    f"iteration {index}",
                     process=SCHEDULER_PROCESS,
                     track="iterations",
                     start=now,
-                    duration=outcome.span_cycles,
+                    duration=effective_span,
                     category="iteration",
                     args={
                         "batch": len(active),
@@ -643,42 +907,107 @@ class ServingScheduler:
                         "kernels": outcome.kernel_count,
                     },
                 )
+                if stall:
+                    recorder.add_span(
+                        "stall (fault)",
+                        process=SCHEDULER_PROCESS,
+                        track="iterations",
+                        start=now + effective_span - stall,
+                        duration=stall,
+                        category="fault",
+                        args={"iteration": index},
+                    )
             iterations.append(
                 IterationRecord(
-                    index=len(iterations),
+                    index=index,
                     start_cycle=now,
-                    span_cycles=outcome.span_cycles,
+                    span_cycles=effective_span,
                     batch=len(active),
                     request_ids=[state.request.request_id for state in active],
                 )
             )
-            serving_cycles += outcome.span_cycles
+            serving_cycles += effective_span
             kernel_count += outcome.kernel_count
             energy_uj += outcome.energy_uj
             for resource, busy in outcome.resource_busy:
                 resource_busy[resource] = resource_busy.get(resource, 0) + busy
 
-            now += outcome.span_cycles
+            now += effective_span
             active = [state for state in active if state.finish_cycle is None]
 
-        requests = [
-            RequestResult(
-                request_id=request.request_id,
-                arrival_cycle=request.arrival_cycle,
-                admitted_cycle=finished[request.request_id].admitted_cycle,
-                first_token_cycle=finished[request.request_id].first_token_cycle,
-                finish_cycle=finished[request.request_id].finish_cycle,
-                prompt_len=request.prompt_len,
-                decode_steps=request.decode_steps,
-                model_family=request.model.family,
-            )
-            for request in trace.sorted_requests()
-        ]
+        requests: List[RequestResult] = []
+        for request in trace.sorted_requests():
+            rid = request.request_id
+            slo_name = request.slo.name if request.slo is not None else None
+            if rid in finished:
+                state = finished[rid]
+                disposition = (
+                    evaluate_disposition(
+                        request,
+                        state.first_token_cycle - request.arrival_cycle,
+                        state.finish_cycle - request.arrival_cycle,
+                    )
+                    if control_active
+                    else None
+                )
+                requests.append(
+                    RequestResult(
+                        request_id=rid,
+                        arrival_cycle=request.arrival_cycle,
+                        admitted_cycle=state.admitted_cycle,
+                        first_token_cycle=state.first_token_cycle,
+                        finish_cycle=state.finish_cycle,
+                        prompt_len=request.prompt_len,
+                        decode_steps=request.decode_steps,
+                        model_family=request.model.family,
+                        disposition=disposition,
+                        slo_class=slo_name if control_active else None,
+                        preemptions=state.preemptions,
+                        terminal_cycle=state.finish_cycle if control_active else None,
+                    )
+                )
+            else:
+                entry, disposition, cycle = terminated[rid]
+                requests.append(
+                    RequestResult(
+                        request_id=rid,
+                        arrival_cycle=request.arrival_cycle,
+                        admitted_cycle=entry.admitted_cycle,
+                        first_token_cycle=entry.first_token_cycle,
+                        finish_cycle=None,
+                        prompt_len=request.prompt_len,
+                        decode_steps=request.decode_steps,
+                        model_family=request.model.family,
+                        disposition=disposition,
+                        slo_class=slo_name,
+                        preemptions=entry.preemptions,
+                        terminal_cycle=cycle,
+                    )
+                )
+        goodput: Optional[float] = None
+        dispositions: Dict[str, int] = {}
+        if control_active:
+            dispositions = {name: 0 for name in DISPOSITIONS}
+            for result in requests:
+                dispositions[result.disposition] += 1
+            goodput = dispositions["met"] / len(requests) if requests else 0.0
         if recorder is not None:
             # Request lifecycle timeline: a queue span (arrival to admission)
             # followed by a decode span (admission to finish) that nests the
             # per-step spans recorded during the loop, one track per request.
+            # Shed/timed-out requests get a single terminal span instead.
             for request in requests:
+                if not request.finished:
+                    recorder.add_span(
+                        request.disposition,
+                        process=REQUESTS_PROCESS,
+                        track=request.request_id,
+                        start=request.arrival_cycle,
+                        duration=request.terminal_cycle - request.arrival_cycle,
+                        category=request.disposition,
+                        args={"preemptions": request.preemptions},
+                    )
+                    continue
                 recorder.add_span(
                     "queue",
                     process=REQUESTS_PROCESS,
@@ -718,7 +1047,17 @@ class ServingScheduler:
             metrics=_serving_metrics(
                 requests, iterations, now, serving_cycles, kernel_count,
                 resource_busy, cache_stats, memo_stats,
+                control_active=control_active,
+                goodput=goodput,
+                dispositions=dispositions,
+                preemption_count=preemption_count,
             ),
+            policy=self.policy.name,
+            control_active=control_active,
+            goodput=goodput,
+            dispositions=dispositions,
+            preemption_count=preemption_count,
+            fault_plan=faults if injector is not None else None,
         )
 
     def isolated_step_spans(
@@ -754,15 +1093,31 @@ def run_serving(
     heterogeneous: bool = False,
     dtype: DataType = DataType.FP16,
     iteration_memo: bool = True,
+    policy: Union[str, SchedulingPolicy, None] = None,
+    kv_budget: Optional[int] = None,
+    faults: Union[str, FaultPlan, None] = None,
+    fault_seed: int = 0,
 ) -> ServingRunResult:
     """Continuous-batch a serving trace on one design (zoo name or explicit).
 
     ``iteration_memo=False`` disables the process-wide iteration memo (every
     iteration merges and schedules afresh); results are identical either way
     -- the memo is a pure accelerator, enforced by the property suite.
+    ``policy`` selects the admission policy (``fcfs`` / ``kv-budget`` /
+    ``preemptive-slo``), ``kv_budget`` overrides the design's HBM capacity
+    for the budgeted policies, and ``faults`` injects a seeded
+    :class:`~repro.faults.FaultPlan` (or an ``--inject``-style spec string,
+    parsed with ``fault_seed``).
     """
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults, seed=fault_seed)
     scheduler = ServingScheduler(
-        design, heterogeneous=heterogeneous, dtype=dtype, iteration_memo=iteration_memo
+        design,
+        heterogeneous=heterogeneous,
+        dtype=dtype,
+        iteration_memo=iteration_memo,
+        policy=policy,
+        kv_budget=kv_budget,
     )
     with phase("serving.run", trace=trace if isinstance(trace, str) else trace.name):
-        return scheduler.run(trace)
+        return scheduler.run(trace, faults=faults)

@@ -1,0 +1,394 @@
+"""Tests for the serving control plane: SLO classes, policies, dispositions.
+
+Covers the policy layer in isolation (pure decision functions over stub
+queue/batch state), the scheduler integration (goodput, dispositions,
+preemption accounting, memo byte-identity under preemption), and the CLI
+surface (--policy / --kv-budget flags, friendly errors).  The chaos-side
+coverage (fault injection, graceful degradation) lives in
+``tests/test_faults.py``.
+"""
+
+import json
+from dataclasses import dataclass, replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.config.presets import DesignKind
+from repro.config.soc import DataType
+from repro.workloads import (
+    DISPOSITIONS,
+    FcfsPolicy,
+    KvBudgetPolicy,
+    ModelSpec,
+    PolicyContext,
+    PreemptiveSloPolicy,
+    RequestSpec,
+    ServingScheduler,
+    ServingTrace,
+    SloClass,
+    policy_names,
+    request_kv_bytes,
+    resolve_policy,
+    resolve_slo,
+    run_serving,
+    slo_trace,
+)
+from repro.workloads.control import SLO_CLASSES, evaluate_disposition
+
+TINY_GPT = ModelSpec(family="gpt", phase="decode", batch=1, seq_len=32,
+                     hidden=128, blocks=1, heads=4)
+
+INTERACTIVE = SLO_CLASSES["interactive"]
+STANDARD = SLO_CLASSES["standard"]
+BATCH = SLO_CLASSES["batch"]
+
+
+def request(rid, arrival=0, slo=None, prompt_len=32, decode_steps=2):
+    return RequestSpec(
+        request_id=rid,
+        model=TINY_GPT,
+        arrival_cycle=arrival,
+        prompt_len=prompt_len,
+        decode_steps=decode_steps,
+        slo=slo,
+    )
+
+
+def trace_of(*requests, bucket=32):
+    ordered = tuple(sorted(requests, key=lambda r: (r.arrival_cycle, r.request_id)))
+    return ServingTrace(name="control", requests=ordered, context_bucket=bucket)
+
+
+@dataclass
+class Queued:
+    """Stub of the scheduler's queued-entry state the policy hooks see."""
+
+    request: RequestSpec
+    enqueued_cycle: int = 0
+    steps_done: int = 0
+
+
+@dataclass
+class Active:
+    """Stub of the scheduler's in-flight state the policy hooks see."""
+
+    request: RequestSpec
+    resident_since: int = 0
+    steps_done: int = 0
+
+
+def context_for(trace, kv_budget_bytes):
+    design = ServingScheduler(DesignKind.VIRGO).design
+    return PolicyContext(
+        design=design,
+        dtype=DataType.FP16,
+        trace=trace,
+        kv_budget_bytes=kv_budget_bytes,
+    )
+
+
+#: KV bytes of one TINY_GPT request at the 32-token bucket: the unit every
+#: budget below is expressed in, so the tests read in "requests", not bytes.
+UNIT = request_kv_bytes(TINY_GPT, 32, DataType.FP16)
+
+
+class TestSloClasses:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            SloClass(name="")
+        with pytest.raises(ValueError, match="ttft_target_cycles"):
+            SloClass(name="x", ttft_target_cycles=0)
+        with pytest.raises(ValueError, match="queue_deadline_cycles"):
+            SloClass(name="x", queue_deadline_cycles=-5)
+
+    def test_resolve_by_name_and_passthrough(self):
+        assert resolve_slo("interactive") is INTERACTIVE
+        custom = SloClass(name="custom", priority=9)
+        assert resolve_slo(custom) is custom
+
+    def test_unknown_class_lists_choices(self):
+        with pytest.raises(KeyError, match="batch, interactive, standard"):
+            resolve_slo("platinum")
+
+    def test_builtin_classes_order_by_priority(self):
+        assert INTERACTIVE.priority > STANDARD.priority > BATCH.priority
+        assert BATCH.ttft_target_cycles is None
+        assert BATCH.queue_deadline_cycles is None
+
+    def test_to_dict_round_trips_fields(self):
+        encoded = INTERACTIVE.to_dict()
+        assert encoded["name"] == "interactive"
+        assert encoded["priority"] == 2
+        assert encoded["ttft_target_cycles"] == INTERACTIVE.ttft_target_cycles
+
+
+class TestKvBytes:
+    def test_request_kv_bytes_arithmetic(self):
+        # 2 (K and V) * blocks * kv_heads * head_dim * context * dtype bytes.
+        assert request_kv_bytes(TINY_GPT, 32, DataType.FP16) == 2 * 1 * 4 * 32 * 32 * 2
+
+    def test_gqa_shrinks_kv_footprint(self):
+        gqa = replace(TINY_GPT, kv_heads=1)
+        assert request_kv_bytes(gqa, 32, DataType.FP16) == UNIT // 4
+
+
+class TestResolvePolicy:
+    def test_default_is_fcfs(self):
+        assert resolve_policy(None).name == "fcfs"
+        assert isinstance(resolve_policy("fcfs"), FcfsPolicy)
+
+    def test_names_cover_registry(self):
+        assert policy_names() == ["fcfs", "kv-budget", "preemptive-slo"]
+
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(KeyError, match="fcfs, kv-budget, preemptive-slo"):
+            resolve_policy("bogus")
+
+    def test_fcfs_rejects_budget(self):
+        with pytest.raises(ValueError, match="fcfs policy has no KV budget"):
+            resolve_policy("fcfs", kv_budget=1024)
+
+    def test_instance_passthrough_rejects_budget_alongside(self):
+        policy = KvBudgetPolicy(budget_bytes=UNIT)
+        assert resolve_policy(policy) is policy
+        with pytest.raises(ValueError, match="policy constructor"):
+            resolve_policy(policy, kv_budget=UNIT)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive budget"):
+            KvBudgetPolicy(budget_bytes=0)
+
+
+class TestKvBudgetPolicy:
+    def test_admit_stops_at_budget(self):
+        trace = trace_of(request("a"), request("b"), request("c"))
+        ctx = context_for(trace, kv_budget_bytes=2 * UNIT)
+        queued = [Queued(request(rid)) for rid in ("a", "b", "c")]
+        admitted = KvBudgetPolicy().admit(queued, [], now=0, ctx=ctx)
+        assert [entry.request.request_id for entry in admitted] == ["a", "b"]
+
+    def test_admit_counts_resident_kv(self):
+        trace = trace_of(request("a"), request("b"))
+        ctx = context_for(trace, kv_budget_bytes=2 * UNIT)
+        active = [Active(request("a"))]
+        admitted = KvBudgetPolicy().admit([Queued(request("b"))], active, 0, ctx)
+        assert len(admitted) == 1
+        admitted = KvBudgetPolicy(budget_bytes=UNIT).admit(
+            [Queued(request("b"))], active, 0, ctx
+        )
+        assert admitted == []
+
+    def test_admit_prefers_priority_over_queue_age(self):
+        # The older low-priority waiter loses the single slot to the younger
+        # high-priority one: admission order is (priority desc, age, id).
+        trace = trace_of(
+            request("old-batch", slo=BATCH), request("new-vip", slo=INTERACTIVE)
+        )
+        ctx = context_for(trace, kv_budget_bytes=UNIT)
+        queued = [
+            Queued(request("old-batch", slo=BATCH), enqueued_cycle=0),
+            Queued(request("new-vip", slo=INTERACTIVE), enqueued_cycle=100),
+        ]
+        admitted = KvBudgetPolicy().admit(queued, [], 200, ctx)
+        assert [entry.request.request_id for entry in admitted] == ["new-vip"]
+
+    def test_shed_expired_deadlines_only(self):
+        trace = trace_of(request("vip", slo=INTERACTIVE), request("bulk", slo=BATCH))
+        ctx = context_for(trace, kv_budget_bytes=UNIT)
+        deadline = INTERACTIVE.queue_deadline_cycles
+        queued = [
+            Queued(request("vip", slo=INTERACTIVE), enqueued_cycle=0),
+            Queued(request("bulk", slo=BATCH), enqueued_cycle=0),
+        ]
+        policy = KvBudgetPolicy()
+        assert policy.shed(queued, now=deadline, ctx=ctx) == []
+        shed = policy.shed(queued, now=deadline + 1, ctx=ctx)
+        # The batch-class request has no deadline and is never shed.
+        assert [entry.request.request_id for entry in shed] == ["vip"]
+
+
+class TestPreemptiveSloPolicy:
+    def test_evicts_longest_resident_lower_priority(self):
+        trace = trace_of(
+            request("bulk0", slo=BATCH),
+            request("bulk1", slo=BATCH),
+            request("vip", slo=INTERACTIVE, arrival=10),
+        )
+        ctx = context_for(trace, kv_budget_bytes=2 * UNIT)
+        active = [
+            Active(request("bulk1", slo=BATCH), resident_since=5),
+            Active(request("bulk0", slo=BATCH), resident_since=0),
+        ]
+        queued = [Queued(request("vip", slo=INTERACTIVE), enqueued_cycle=10)]
+        evicted = PreemptiveSloPolicy().evict(active, queued, now=10, ctx=ctx)
+        assert [state.request.request_id for state in evicted] == ["bulk0"]
+
+    def test_never_evicts_equal_or_higher_priority(self):
+        trace = trace_of(
+            request("std", slo=STANDARD), request("vip", slo=INTERACTIVE, arrival=10)
+        )
+        ctx = context_for(trace, kv_budget_bytes=UNIT)
+        active = [Active(request("vip", slo=INTERACTIVE))]
+        queued = [Queued(request("std", slo=STANDARD), enqueued_cycle=10)]
+        assert PreemptiveSloPolicy().evict(active, queued, 10, ctx) == []
+
+    def test_no_waiters_no_evictions(self):
+        trace = trace_of(request("a", slo=BATCH))
+        ctx = context_for(trace, kv_budget_bytes=UNIT)
+        assert PreemptiveSloPolicy().evict([Active(request("a"))], [], 0, ctx) == []
+
+
+class TestEvaluateDisposition:
+    def test_no_slo_is_met(self):
+        assert evaluate_disposition(request("r"), 10**9, 10**9) == "met"
+
+    def test_ttft_target(self):
+        vip = request("r", slo=INTERACTIVE)
+        target = INTERACTIVE.ttft_target_cycles
+        assert evaluate_disposition(vip, target, target + 1) == "met"
+        assert evaluate_disposition(vip, target + 1, target + 2) == "violated"
+
+    def test_tpot_target(self):
+        slo = SloClass(name="tpot-only", tpot_target_cycles=100)
+        r = request("r", slo=slo, decode_steps=3)
+        # latency - ttft spread over decode_steps - 1 subsequent tokens.
+        assert evaluate_disposition(r, 50, 50 + 200) == "met"
+        assert evaluate_disposition(r, 50, 50 + 201) == "violated"
+
+    def test_single_step_ignores_tpot(self):
+        slo = SloClass(name="tpot-only", tpot_target_cycles=1)
+        assert evaluate_disposition(request("r", slo=slo, decode_steps=1), 5, 5) == "met"
+
+
+class TestSchedulerIntegration:
+    def test_fcfs_run_has_inactive_control_plane(self):
+        result = run_serving(trace_of(request("a"), request("b")))
+        assert result.control_active is False
+        encoded = result.to_dict()
+        assert "policy" not in encoded and "goodput" not in encoded
+        for req in encoded["requests"]:
+            assert "disposition" not in req
+
+    def test_slo_trace_activates_control_plane(self):
+        result = run_serving(trace_of(request("a", slo=BATCH)))
+        assert result.control_active is True
+        assert result.policy == "fcfs"
+        assert result.goodput == 1.0
+        assert result.to_dict()["dispositions"] == {
+            "met": 1, "violated": 0, "shed": 0, "timed_out": 0
+        }
+
+    def test_slo_zoo_traces_registered(self):
+        bursty = slo_trace("x", "bursty-gpt")
+        assert all(r.slo is not None for r in bursty.requests)
+        classes = {r.slo.name for r in bursty.requests}
+        assert classes == {"interactive", "standard", "batch"}
+
+    def test_preemption_under_tight_budget(self):
+        trace = trace_of(
+            request("bulk0", slo=BATCH, decode_steps=4),
+            request("bulk1", slo=BATCH, decode_steps=4),
+            request("vip", slo=INTERACTIVE, arrival=1, decode_steps=2),
+        )
+        result = run_serving(trace, policy="preemptive-slo", kv_budget=2 * UNIT)
+        assert result.preemption_count >= 1
+        by_id = {r.request_id: r for r in result.requests}
+        assert by_id["vip"].disposition in ("met", "violated")
+        # Preempted requests resume and still finish: nothing is lost.
+        assert sum(result.dispositions.values()) == len(trace.requests)
+        assert all(r.preemptions >= 0 for r in result.requests)
+
+    def test_memo_off_byte_identical_under_preemption(self):
+        trace = trace_of(
+            request("bulk0", slo=BATCH, decode_steps=4),
+            request("bulk1", slo=BATCH, decode_steps=4),
+            request("vip", slo=INTERACTIVE, arrival=1, decode_steps=2),
+        )
+        kwargs = dict(policy="preemptive-slo", kv_budget=2 * UNIT)
+        warm = run_serving(trace, iteration_memo=True, **kwargs)
+        cold = run_serving(trace, iteration_memo=False, **kwargs)
+        assert warm.preemption_count >= 1
+        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+            cold.to_dict(), sort_keys=True
+        )
+
+
+#: Hypothesis strategy: small SLO-annotated traces over one tiny model.
+@st.composite
+def slo_traces(draw):
+    count = draw(st.integers(1, 5))
+    classes = (INTERACTIVE, STANDARD, BATCH, None)
+    requests = []
+    for index in range(count):
+        requests.append(
+            RequestSpec(
+                request_id=f"p{index}",
+                model=TINY_GPT,
+                arrival_cycle=draw(st.integers(0, 400_000)),
+                prompt_len=draw(st.integers(1, 96)),
+                decode_steps=draw(st.integers(1, 3)),
+                slo=classes[draw(st.integers(0, len(classes) - 1))],
+            )
+        )
+    requests.sort(key=lambda r: (r.arrival_cycle, r.request_id))
+    return ServingTrace(name="prop", requests=tuple(requests), context_bucket=32)
+
+
+class TestDispositionPartition:
+    @settings(deadline=None, max_examples=10)
+    @given(trace=slo_traces(), policy=st.sampled_from(policy_names()))
+    def test_every_request_in_exactly_one_disposition(self, trace, policy):
+        kv_budget = 2 * UNIT if policy != "fcfs" else None
+        result = run_serving(trace, policy=policy, kv_budget=kv_budget)
+        assert result.control_active is True
+        assert set(result.dispositions) == set(DISPOSITIONS)
+        assert sum(result.dispositions.values()) == len(trace.requests)
+        assert len(result.requests) == len(trace.requests)
+        for req in result.requests:
+            assert req.disposition in DISPOSITIONS
+        counted = {name: 0 for name in DISPOSITIONS}
+        for req in result.requests:
+            counted[req.disposition] += 1
+        assert counted == dict(result.dispositions)
+        assert result.goodput == counted["met"] / len(trace.requests)
+
+
+class TestControlCli:
+    def test_policy_flag_renders_goodput_and_dispositions(self, capsys):
+        assert main([
+            "serve", "--trace", "bursty-slo", "--policy", "kv-budget",
+            "--kv-budget", "300000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "disposition" in out
+
+    def test_json_report_carries_control_keys(self, capsys):
+        assert main([
+            "serve", "--trace", "bursty-slo", "--policy", "preemptive-slo",
+            "--kv-budget", "300000", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        latency = report["latency_report"]
+        assert latency["policy"] == "preemptive-slo"
+        assert set(latency["dispositions"]) == set(DISPOSITIONS)
+        assert 0.0 <= latency["goodput"] <= 1.0
+
+    def test_unknown_policy_exits_with_choices(self):
+        with pytest.raises(SystemExit, match="kv-budget"):
+            main(["serve", "--trace", "bursty-slo", "--policy", "bogus"])
+
+    def test_fcfs_with_budget_exits_friendly(self):
+        with pytest.raises(SystemExit, match="no KV budget"):
+            main(["serve", "--trace", "bursty-slo", "--kv-budget", "1024"])
+
+    def test_default_serve_output_unchanged(self, capsys):
+        # No policy, no SLOs, no faults: the historical table layout, with
+        # no disposition column and no goodput line.
+        assert main(["serve", "--trace", "uniform-moe"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" not in out
+        assert "disposition" not in out

@@ -494,6 +494,8 @@ def obs_traces(draw):
                 decode_steps=draw(st.integers(1, 3)),
             )
         )
+    # Traces must be sorted by (arrival, id) since construction validates it.
+    requests.sort(key=lambda r: (r.arrival_cycle, r.request_id))
     return ServingTrace(name="obs-hypothesis", requests=tuple(requests),
                         context_bucket=32)
 

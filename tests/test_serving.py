@@ -75,8 +75,18 @@ class TestTraceLayer:
             ServingTrace(name="bad", requests=(request, request))
 
     def test_sorted_requests_orders_by_arrival_then_id(self):
-        trace = tiny_trace(arrivals=(500, 0))
-        assert [r.request_id for r in trace.sorted_requests()] == ["q1", "q0"]
+        # Same arrival cycle: construction order is legal either way and the
+        # id breaks the tie deterministically.
+        requests = (
+            RequestSpec(request_id="qa", model=TINY_GPT, arrival_cycle=100),
+            RequestSpec(request_id="qb", model=TINY_MOE, arrival_cycle=100),
+        )
+        trace = ServingTrace(name="tie", requests=requests, context_bucket=32)
+        assert [r.request_id for r in trace.sorted_requests()] == ["qa", "qb"]
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(ValueError, match="not sorted by arrival"):
+            tiny_trace(arrivals=(500, 0))
 
     def test_context_bucketing_rounds_up(self):
         trace = tiny_trace(bucket=64)

@@ -56,6 +56,8 @@ def traces(draw):
                 decode_steps=draw(st.integers(1, 4)),
             )
         )
+    # Traces must be sorted by (arrival, id) since construction validates it.
+    requests.sort(key=lambda r: (r.arrival_cycle, r.request_id))
     return ServingTrace(name="memo-hypothesis", requests=tuple(requests),
                         context_bucket=bucket)
 

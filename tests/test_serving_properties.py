@@ -63,6 +63,8 @@ def traces(draw):
                 decode_steps=draw(st.integers(1, 3)),
             )
         )
+    # Traces must be sorted by (arrival, id) since construction validates it.
+    requests.sort(key=lambda r: (r.arrival_cycle, r.request_id))
     return ServingTrace(name="hypothesis", requests=tuple(requests), context_bucket=bucket)
 
 
