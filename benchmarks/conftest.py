@@ -8,7 +8,22 @@ reports, which is the data EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import os
 from typing import Mapping
+
+# Wall-clock determinism: pin every BLAS/OpenMP worker pool to one thread
+# before numpy's backends spin up.  The benchmarks in this directory assert
+# on elapsed time; oversubscribed thread pools are the main source of
+# run-to-run variance on shared CI runners, and none of the measured code
+# paths benefit from BLAS parallelism (the arrays are tiny or memory-bound).
+for _pool in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_pool, "1")
 
 
 def print_comparison(title: str, rows: Mapping[str, Mapping[str, float]]) -> None:

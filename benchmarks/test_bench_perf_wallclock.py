@@ -28,6 +28,7 @@ Run directly (also wired into the CI perf-smoke job)::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_perf_wallclock.py -q
 """
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -48,7 +49,13 @@ from repro.perf import (
     snapshot_path,
     timing_cache,
 )
-from repro.workloads import resolve_spec, run_model, run_serving, scaled_spec
+from repro.workloads import (
+    poisson_stream_trace,
+    resolve_spec,
+    run_model,
+    run_serving,
+    scaled_spec,
+)
 
 #: The ISSUE's motivating scenario: a deep GPT whose blocks all lower to the
 #: same handful of kernel shapes.
@@ -62,6 +69,11 @@ MIN_COMPRESSION_SPEEDUP = 3.0
 MIN_SERVING_WARM_SPEEDUP = 3.0
 #: Compressed over fully expanded flash tile loop at long sequence length.
 MIN_FLASH_COMPRESSION_SPEEDUP = 10.0
+#: Cold end-to-end budget (trace build + serve) for a million-request
+#: poisson stream with epoch compression on.  Without compression the same
+#: run takes minutes; the budget holds a ~10x margin over the measured
+#: extrapolating run so only a broken fast path can trip it.
+MAX_EPOCH_MILLION_SECONDS = 10.0
 
 #: Measured serving/flash ratios land here (repo root).  The file is
 #: committed as the reviewable record of the guarded ratios -- running the
@@ -340,3 +352,68 @@ def test_bench_flash_compression_speedup(benchmark):
     assert result.phase_cycles == expanded.phase_cycles
     assert result.schedule_stats["executed_operations"] < 100
     assert speedup >= MIN_FLASH_COMPRESSION_SPEEDUP
+
+
+def test_bench_epoch_compression_million_requests(benchmark):
+    """A cold million-request poisson serve must finish in under 10 seconds.
+
+    This is the epoch-compression guardrail: build the 1M-request stream
+    trace and run the serving scheduler end-to-end from a cold timing
+    cache.  Nearly every request is served through extrapolated epochs and
+    episode replays, so the run costs O(transients), not O(iterations) --
+    an accidental per-iteration loop (or a broken episode learner) blows
+    the budget by an order of magnitude.  The collector is paused over the
+    timed region: a gc pass over millions of live result objects measures
+    the allocator, not the scheduler.
+    """
+    requests = 1_000_000
+
+    def build_and_run():
+        timing_cache().clear()
+        trace = poisson_stream_trace("epoch-bench-1m", requests=requests)
+        return run_serving(trace, "virgo")
+
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        result = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()
+    elapsed = min(benchmark.stats.stats.data)
+    timing_cache().clear()
+
+    stats = result.epochs
+    print_comparison(
+        "Wall clock: cold 1M-request poisson serve (epoch compression on)",
+        {
+            "end_to_end_s": {"measured": elapsed, "paper": MAX_EPOCH_MILLION_SECONDS},
+            "epochs": {"measured": float(stats["epochs"])},
+            "episode_runs": {"measured": float(stats["episode_runs"])},
+            "executed_iterations": {"measured": float(stats["executed_iterations"])},
+            "extrapolated_requests": {
+                "measured": float(stats["extrapolated_requests"])
+            },
+        },
+    )
+    _record_bench(
+        "serving_epoch_1m",
+        {
+            "design": "virgo",
+            "requests": requests,
+            "end_to_end_s": round(elapsed, 3),
+            "max_seconds": MAX_EPOCH_MILLION_SECONDS,
+            "epochs": stats["epochs"],
+            "episode_runs": stats["episode_runs"],
+            "executed_iterations": stats["executed_iterations"],
+            "extrapolated_iterations": stats["extrapolated_iterations"],
+            "extrapolated_requests": stats["extrapolated_requests"],
+        },
+    )
+    assert len(result.requests) == requests
+    assert stats["enabled"] is True
+    # The overwhelming majority of the stream must ride the fast paths.
+    assert stats["extrapolated_requests"] > requests * 9 // 10
+    assert stats["executed_iterations"] < 100_000
+    assert elapsed < MAX_EPOCH_MILLION_SECONDS

@@ -343,6 +343,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                 iteration_memo=not args.no_iteration_memo,
                 policy=args.policy, kv_budget=args.kv_budget,
                 faults=args.inject, fault_seed=args.fault_seed,
+                epoch_compression=args.epoch_compression,
             )
 
     try:
@@ -400,6 +401,15 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         f"timing cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses "
         f"({len(timing_cache())} entries in process)"
     )
+    epochs = result.epochs
+    if epochs.get("enabled"):
+        executed = int(epochs.get("executed_iterations", 0))
+        extrapolated = int(epochs.get("extrapolated_iterations", 0))
+        print(
+            f"epoch compression: {epochs.get('epochs', 0)} epochs, "
+            f"{epochs.get('episode_runs', 0)} episode runs; "
+            f"{extrapolated}/{executed + extrapolated} iterations extrapolated"
+        )
     _report_observability(args, result, recorder, profiler)
 
 
@@ -526,6 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-iteration-memo", action="store_true",
                        help="merge and schedule every iteration afresh "
                             "(disables the iteration-level memo)")
+    serve.add_argument("--epoch-compression", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="extrapolate invariant batch compositions in "
+                            "closed form instead of simulating every "
+                            "iteration (results are byte-identical either "
+                            "way; --no-epoch-compression forces the exact "
+                            "per-iteration loop)")
     serve.add_argument("--policy", default="fcfs",
                        help="scheduling policy: fcfs | kv-budget | preemptive-slo")
     serve.add_argument("--kv-budget", type=int, default=None, metavar="BYTES",

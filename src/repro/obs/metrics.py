@@ -94,6 +94,23 @@ class Histogram:
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
+    def observe_many(self, value: Number, count: int) -> None:
+        """Observe ``value`` ``count`` times in O(1).
+
+        The streaming moments are order-insensitive and integer-exact under
+        repetition (``count * value`` equals ``count`` additions for the int
+        values this registry records), so bulk observation of a compressed
+        run snapshots identically to the expanded loop.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

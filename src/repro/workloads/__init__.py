@@ -65,6 +65,13 @@ from repro.workloads.control import (
     resolve_policy,
     resolve_slo,
 )
+from repro.workloads.epochs import (
+    EpisodeRun,
+    EpisodeTemplate,
+    EpochRecord,
+    IterationRecord,
+    IterationTimeline,
+)
 from repro.workloads.graph import (
     AttentionLayer,
     ElementwiseLayer,
@@ -78,6 +85,8 @@ from repro.workloads.graph import (
     RequestSpec,
     ServingTrace,
     TensorShape,
+    build_request_stream,
+    build_stream_trace,
 )
 from repro.workloads.models import (
     MODEL_ZOO,
@@ -91,6 +100,7 @@ from repro.workloads.models import (
     gpt_decoder,
     model_names,
     moe_decoder,
+    poisson_stream_trace,
     poisson_trace,
     resolve_spec,
     resolve_trace,
@@ -129,6 +139,11 @@ from repro.workloads.batch import (
 )
 
 __all__ = [
+    "EpisodeRun",
+    "EpisodeTemplate",
+    "EpochRecord",
+    "IterationRecord",
+    "IterationTimeline",
     "POLICIES",
     "SLO_CLASSES",
     "FcfsPolicy",
@@ -153,6 +168,8 @@ __all__ = [
     "RequestSpec",
     "ServingTrace",
     "TensorShape",
+    "build_request_stream",
+    "build_stream_trace",
     "MODEL_ZOO",
     "REQUEST_MODELS",
     "TRACE_ZOO",
@@ -164,6 +181,7 @@ __all__ = [
     "gpt_decoder",
     "model_names",
     "moe_decoder",
+    "poisson_stream_trace",
     "poisson_trace",
     "resolve_spec",
     "resolve_trace",

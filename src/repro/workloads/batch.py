@@ -61,7 +61,11 @@ from repro.workloads.serving import run_serving
 #: (:mod:`repro.obs.metrics`), changing the cached payload shape.
 #: 5: serving jobs grew the control-plane knobs (policy, kv_budget) and
 #: serving traces may carry per-request SLO classes in their payloads.
-CACHE_SCHEMA_VERSION = 5
+#: 6: serving jobs grew the ``epoch_compression`` knob.  Results are proven
+#: byte-identical either way, but keying the execution path keeps a
+#: hypothetical compression bug from silently serving stale exact-mode
+#: bytes (and vice versa).
+CACHE_SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -132,6 +136,7 @@ class ServingJob:
     dtype: str = "fp16"
     policy: str = "fcfs"
     kv_budget: Optional[int] = None
+    epoch_compression: bool = True
 
     @cached_property
     def resolved(self) -> ServingTrace:
@@ -159,6 +164,7 @@ class ServingJob:
             "dtype": self.dtype.lower(),
             "policy": self.policy,
             "kv_budget": self.kv_budget,
+            "epoch_compression": self.epoch_compression,
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -244,6 +250,7 @@ def _execute_job(job: Union[BatchJob, "ServingJob"]) -> Dict[str, object]:
             dtype=dtype,
             policy=job.policy,
             kv_budget=job.kv_budget,
+            epoch_compression=job.epoch_compression,
         ).to_dict()
     result = run_model(
         job.spec, job.design, heterogeneous=job.heterogeneous, dtype=dtype
@@ -388,6 +395,7 @@ def serving_sweep_jobs(
     heterogeneous: Union[bool, Sequence[bool]] = (False, True),
     policies: Sequence[str] = ("fcfs",),
     kv_budget: Optional[int] = None,
+    epoch_compression: bool = True,
 ) -> List[ServingJob]:
     """The (trace x design x unit-config x policy) serving sweep as a job list.
 
@@ -410,6 +418,7 @@ def serving_sweep_jobs(
                 heterogeneous=flag,
                 policy=policy,
                 kv_budget=kv_budget if policy != "fcfs" else None,
+                epoch_compression=epoch_compression,
             )
             for trace in traces
             for design in designs

@@ -40,7 +40,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.workloads.control import SloClass
 
@@ -563,10 +565,13 @@ class ServingTrace:
             previous = request
 
     def sorted_requests(self) -> Tuple[RequestSpec, ...]:
-        """Requests in arrival order (ties broken by id, deterministically)."""
-        return tuple(
-            sorted(self.requests, key=lambda r: (r.arrival_cycle, r.request_id))
-        )
+        """Requests in arrival order (ties broken by id, deterministically).
+
+        Construction already rejects unsorted streams (``__post_init__``),
+        so this is the stored tuple -- O(1), which matters when the serving
+        scheduler walks million-request traces.
+        """
+        return self.requests
 
     def bucketed_context(self, context: int) -> int:
         """Round ``context`` up to the trace's KV page granularity."""
@@ -585,3 +590,87 @@ class ServingTrace:
             "context_bucket": self.context_bucket,
             "requests": [request.to_dict() for request in self.requests],
         }
+
+
+def build_request_stream(
+    model: "ModelSpec",
+    arrival_cycles: Sequence[int],
+    prompt_len: int = 128,
+    decode_steps: int = 4,
+    id_prefix: str = "s",
+    slo: Optional[SloClass] = None,
+) -> Tuple[RequestSpec, ...]:
+    """Bulk-construct a sorted, uniform-shape request stream.
+
+    Million-request traces cannot afford one ``__post_init__`` per request;
+    this builder validates the shared shape once (by constructing a probe
+    spec through the normal path), checks the arrival vector in one numpy
+    pass, then allocates the remaining frozen specs directly.  Ids are
+    ``<prefix><zero-padded index>``, so (arrival, id) order equals
+    construction order and every id is unique -- exactly the invariants
+    ``ServingTrace.__post_init__`` would re-derive per request.
+    """
+    arrivals = np.asarray(arrival_cycles, dtype=np.int64)
+    if arrivals.size == 0:
+        raise ValueError("a request stream needs at least one arrival")
+    if int(arrivals[0]) < 0:
+        raise ValueError("request streams need arrival_cycle >= 0")
+    if arrivals.size > 1 and int(np.diff(arrivals).min()) < 0:
+        raise ValueError("request streams must be sorted by arrival_cycle")
+    width = len(str(arrivals.size - 1))
+    fmt = (f"{id_prefix}%0{width}d").__mod__
+    probe = RequestSpec(
+        request_id=fmt(0),
+        model=model,
+        arrival_cycle=int(arrivals[0]),
+        prompt_len=prompt_len,
+        decode_steps=decode_steps,
+        slo=slo,
+    )
+    new = RequestSpec.__new__
+    set_dict = object.__setattr__
+    requests = [new(RequestSpec) for _ in range(arrivals.size - 1)]
+    for index, (request, arrival) in enumerate(
+        zip(requests, arrivals[1:].tolist()), start=1
+    ):
+        set_dict(
+            request,
+            "__dict__",
+            {
+                "request_id": fmt(index),
+                "model": model,
+                "arrival_cycle": arrival,
+                "prompt_len": prompt_len,
+                "decode_steps": decode_steps,
+                "slo": slo,
+            },
+        )
+    requests.insert(0, probe)
+    return tuple(requests)
+
+
+def build_stream_trace(
+    name: str,
+    requests: Iterable[RequestSpec],
+    context_bucket: int = 64,
+) -> ServingTrace:
+    """Construct a :class:`ServingTrace` from a pre-validated stream.
+
+    Skips the per-request ``__post_init__`` walk (duplicate ids, sort
+    order), which the :func:`build_request_stream` invariants already
+    guarantee -- the O(n) validation pass is the bottleneck when wrapping a
+    million-request stream.  Only use with streams whose ordering and id
+    uniqueness are guaranteed by construction.
+    """
+    if context_bucket <= 0:
+        raise ValueError(f"trace {name!r} needs a positive context bucket")
+    stream = tuple(requests)
+    if not stream:
+        raise ValueError(f"trace {name!r} needs at least one request")
+    trace = ServingTrace.__new__(ServingTrace)
+    object.__setattr__(
+        trace,
+        "__dict__",
+        {"name": name, "requests": stream, "context_bucket": context_bucket},
+    )
+    return trace

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import asdict, dataclass, replace
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.workloads.graph import (
     AttentionLayer,
@@ -42,6 +44,8 @@ from repro.workloads.graph import (
     RequestSpec,
     ServingTrace,
     TensorShape,
+    build_request_stream,
+    build_stream_trace,
 )
 from repro.workloads.control import SloClass, resolve_slo
 
@@ -88,6 +92,36 @@ class ModelSpec:
             raise ValueError(
                 f"top_k ({self.top_k}) must be in 1..experts ({self.experts})"
             )
+
+    def __hash__(self) -> int:
+        """The generated field-tuple hash, computed once and pinned.
+
+        Serving memo keys hash the spec at every iteration boundary;
+        the instance is frozen, so caching is observationally identical
+        to the dataclass-generated ``__hash__`` (same tuple, same value).
+        """
+        cached = self.__dict__.get("_spec_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.family,
+                    self.batch,
+                    self.seq_len,
+                    self.hidden,
+                    self.blocks,
+                    self.heads,
+                    self.kv_heads,
+                    self.ffn_mult,
+                    self.phase,
+                    self.context_len,
+                    self.experts,
+                    self.top_k,
+                    self.capacity_factor,
+                    self.shared_experts,
+                )
+            )
+            object.__setattr__(self, "_spec_hash", cached)
+        return cached
 
     @property
     def head_dim(self) -> int:
@@ -553,6 +587,52 @@ def uniform_trace(
         for index in range(requests)
     )
     return ServingTrace(name=name, requests=specs, context_bucket=context_bucket)
+
+
+def poisson_stream_trace(
+    name: str,
+    requests: int = 1_000_000,
+    mean_interarrival: float = 60_000_000.0,
+    model: Optional[ModelSpec] = None,
+    prompt_len: int = 105,
+    decode_steps: int = 24,
+    seed: int = 20250807,
+    context_bucket: int = 64,
+) -> ServingTrace:
+    """A million-request-scale poisson trace, built in bulk.
+
+    The epoch-compression stress shape: uniform request specs under a
+    stationary poisson arrival process, constructed through the bulk
+    builders (:func:`~repro.workloads.graph.build_request_stream`) so trace
+    construction itself stays O(seconds) at a million requests.  The
+    default prompt/decode pair (105 + 24 steps under a 64-wide bucket)
+    keeps every decode step of a request inside one KV bucket, so a solo
+    request's whole service is a single invariant composition -- the shape
+    the episode templates compress best.  Content is a pure function of the
+    arguments (seeded numpy RNG), matching the batch runner's
+    content-hashing requirement.
+    """
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_interarrival, requests).astype(np.int64)
+    gaps[0] = 0
+    arrivals = np.cumsum(gaps)
+    stream = build_request_stream(
+        model if model is not None else REQUEST_MODELS["gpt-request"],
+        arrivals,
+        prompt_len=prompt_len,
+        decode_steps=decode_steps,
+        id_prefix="p",
+    )
+    trace = build_stream_trace(name, stream, context_bucket=context_bucket)
+    # Pre-stash the episode-walk arrays (arrivals, inter-arrival gaps,
+    # shape ids -- uniform stream, so all zero): the scheduler would
+    # otherwise re-derive them with an O(n) python pass per run.
+    trace.__dict__["_stream_arrays"] = (
+        arrivals,
+        gaps[1:],
+        np.zeros(requests, dtype=np.int64),
+    )
+    return trace
 
 
 def slo_trace(

@@ -61,7 +61,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.config.presets import DesignKind, make_design
 from repro.config.soc import DataType, DesignConfig
@@ -76,6 +78,20 @@ from repro.workloads.control import (
 from repro.obs import CapturedSpans, MetricsRegistry, occupancy_percent, phase, trace_recorder
 from repro.obs.trace import REQUESTS_PROCESS, SCHEDULER_PROCESS, UNITS_PROCESS
 from repro.perf import design_fingerprint, timing_cache
+from repro.workloads.epochs import (
+    EpisodeRun,
+    EpisodeSegment,
+    EpisodeTemplate,
+    EpochRecord,
+    IterationRecord,
+    IterationTimeline,
+    accumulate_energy,
+    accumulate_energy_scalar,
+    build_episode_template,
+    clean_fault_run,
+    epoch_horizon,
+    fresh_epoch_stats,
+)
 from repro.workloads.graph import RequestSpec, ServingTrace, bucket_context
 from repro.workloads.lowering import (
     MATRIX_RESOURCE,
@@ -176,26 +192,6 @@ class RequestResult:
 
 
 @dataclass
-class IterationRecord:
-    """One continuous-batching iteration: who ran, for how long."""
-
-    index: int
-    start_cycle: int
-    span_cycles: int
-    batch: int
-    request_ids: List[str]
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "index": self.index,
-            "start_cycle": self.start_cycle,
-            "span_cycles": self.span_cycles,
-            "batch": self.batch,
-            "request_ids": list(self.request_ids),
-        }
-
-
-@dataclass
 class ServingRunResult:
     """Outcome of one trace on one design under continuous batching.
 
@@ -212,7 +208,11 @@ class ServingRunResult:
     total_cycles: int
     serving_cycles: int
     requests: List[RequestResult]
-    iterations: List[IterationRecord]
+    #: Per-iteration records.  Under epoch compression this is an
+    #: :class:`~repro.workloads.epochs.IterationTimeline` holding
+    #: extrapolated runs compressed; it behaves exactly like the list it
+    #: replaces (``len``, iteration, indexing), expanding records lazily.
+    iterations: Sequence[IterationRecord]
     kernel_count: int
     energy_uj: float
     resource_busy: Dict[str, int] = field(default_factory=dict)
@@ -225,6 +225,13 @@ class ServingRunResult:
     #: scheduling afresh.  Diagnostic only, excluded from :meth:`to_dict`
     #: for the same byte-stability reason.
     iteration_memo: Dict[str, int] = field(default_factory=dict)
+    #: Epoch-compression activity (:func:`~repro.workloads.epochs.
+    #: fresh_epoch_stats`): how many iterations/requests were covered by
+    #: closed-form epoch and episode extrapolation instead of the exact
+    #: loop.  Diagnostic only -- like ``timing_cache``/``iteration_memo``
+    #: it is excluded from :meth:`to_dict`, which stays byte-identical
+    #: with compression on, off, or absent.
+    epochs: Dict[str, object] = field(default_factory=dict)
     #: Unified metrics collected during the run (:mod:`repro.obs.metrics`).
     #: ``to_dict`` embeds the non-diagnostic snapshot; cache/memo hit rates
     #: are diagnostic and reported via ``snapshot(include_diagnostic=True)``.
@@ -255,6 +262,8 @@ class ServingRunResult:
 
     @property
     def decode_steps_executed(self) -> int:
+        if isinstance(self.iterations, IterationTimeline):
+            return self.iterations.decode_steps
         return sum(record.batch for record in self.iterations)
 
     @property
@@ -380,9 +389,93 @@ def _iteration_memo() -> Dict[tuple, _IterationOutcome]:
     return timing_cache().namespace(_MEMO_NAMESPACE)
 
 
+#: Namespace of the learned episode templates (epoch compression's
+#: request-granular tier).  A template is the solo-service segment list of
+#: one request shape -- (design fingerprint, unit layout, dtype, context
+#: bucket, model spec, prompt length, decode budget) -- recorded by
+#: instrumenting the exact loop the first time that shape serves alone from
+#: an idle system to a clean finish.  Living in the same
+#: :meth:`~repro.perf.TimingCache.namespace` mechanism as the iteration
+#: memo ties both to one lifecycle: templates are only ever finalized after
+#: every composition they cover landed in the memo, so a surviving template
+#: implies surviving memo entries and episode replays can credit exact
+#: hit/lookup totals.
+_EPISODE_NAMESPACE = "serving.episodes"
+
+
+def _episode_templates() -> Dict[tuple, EpisodeTemplate]:
+    return timing_cache().namespace(_EPISODE_NAMESPACE)
+
+
+def _pending_arrays(
+    pending: List[RequestSpec],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vector views over the pending stream for the episode run walk.
+
+    ``shape_ids`` groups requests by ``(model object, prompt_len,
+    decode_steps)``; keying the model by object identity is deliberately
+    conservative -- equal-but-distinct spec objects split a run at the
+    boundary, which only shortens the extrapolated stretch, never changes a
+    result (the zoo and stream builders reuse one spec object anyway).
+    """
+    arrivals = np.fromiter(
+        (request.arrival_cycle for request in pending),
+        dtype=np.int64,
+        count=len(pending),
+    )
+    ids: Dict[tuple, int] = {}
+    shapes = np.fromiter(
+        (
+            ids.setdefault(
+                (id(request.model), request.prompt_len, request.decode_steps),
+                len(ids),
+            )
+            for request in pending
+        ),
+        dtype=np.int64,
+        count=len(pending),
+    )
+    return arrivals, np.diff(arrivals), shapes
+
+
+def _episode_run_length(
+    start: int, total_span: int, gaps: np.ndarray, shape_ids: np.ndarray
+) -> int:
+    """Length of the maximal undisturbed same-shape run from ``start``.
+
+    Request ``k`` belongs to the run iff it matches the head's shape and the
+    following arrival (if any) lands at least ``total_span`` cycles later --
+    by which point ``k``'s solo service has fully drained, so ``k`` can
+    never share an iteration with its successor.  A closer successor
+    excludes ``k`` itself (it would be disturbed mid-service).  Scans in
+    geometrically growing numpy chunks so short runs cost a few dozen
+    comparisons while million-long runs stay one vector pass.
+    """
+    n = len(shape_ids)
+    sid = shape_ids[start]
+    j = start
+    chunk = 64
+    while j < n:
+        stop = min(n, j + chunk)
+        bad = shape_ids[j:stop] != sid
+        gap_stop = min(stop, n - 1)
+        if gap_stop > j:
+            np.logical_or(
+                bad[: gap_stop - j],
+                gaps[j:gap_stop] < total_span,
+                out=bad[: gap_stop - j],
+            )
+        hits = np.flatnonzero(bad)
+        if hits.size:
+            return j + int(hits[0]) - start
+        j = stop
+        chunk = min(chunk * 8, 65536)
+    return n - start
+
+
 def _serving_metrics(
     requests: List[RequestResult],
-    iterations: List[IterationRecord],
+    iterations: Sequence[IterationRecord],
     total_cycles: int,
     serving_cycles: int,
     kernel_count: int,
@@ -393,6 +486,8 @@ def _serving_metrics(
     goodput: Optional[float] = None,
     dispositions: Optional[Dict[str, int]] = None,
     preemption_count: int = 0,
+    epoch_stats: Optional[Dict[str, object]] = None,
+    queue_waits: Optional[Tuple[int, List[int]]] = None,
 ) -> MetricsRegistry:
     """The unified metrics registry for one serving run.
 
@@ -405,19 +500,40 @@ def _serving_metrics(
     metrics = MetricsRegistry()
     metrics.counter("serving.requests").inc(len(requests))
     metrics.counter("serving.iterations").inc(len(iterations))
+    timeline = iterations if isinstance(iterations, IterationTimeline) else None
     metrics.counter("serving.decode_steps").inc(
-        sum(record.batch for record in iterations)
+        timeline.decode_steps
+        if timeline is not None
+        else sum(record.batch for record in iterations)
     )
     metrics.counter("serving.kernels").inc(kernel_count)
     metrics.gauge("serving.makespan_cycles").set(total_cycles)
     metrics.gauge("serving.serving_cycles").set(serving_cycles)
+    # Histogram snapshots are order-insensitive (count/total/min/max), so
+    # bulk observation over compressed segments reproduces the per-record
+    # loop's snapshot exactly without expanding extrapolated runs.
     batch = metrics.histogram("serving.batch")
-    for record in iterations:
-        batch.observe(record.batch)
+    if timeline is not None:
+        for value, count in timeline.batch_observations():
+            batch.observe_many(value, count)
+    else:
+        for record in iterations:
+            batch.observe(record.batch)
     queueing = metrics.histogram("serving.queue_wait_cycles")
-    for request in requests:
-        if request.queueing_cycles is not None:
-            queueing.observe(request.queueing_cycles)
+    if queue_waits is not None:
+        # Precomputed during the scheduler's result merge: a bulk count of
+        # known-zero waits (episode-replayed requests are admitted on
+        # arrival) plus the individually tracked waits.  Snapshot-identical
+        # to the per-request loop because histograms are order-insensitive.
+        zero_count, waits = queue_waits
+        queueing.observe_many(0, zero_count)
+        for wait in waits:
+            queueing.observe(wait)
+    else:
+        for request in requests:
+            admitted = request.admitted_cycle
+            if admitted is not None:
+                queueing.observe(admitted - request.arrival_cycle)
     if control_active:
         metrics.gauge("serving.goodput").set(goodput if goodput is not None else 0.0)
         for disposition in DISPOSITIONS:
@@ -434,6 +550,13 @@ def _serving_metrics(
     metrics.counter("iteration_memo.misses", diagnostic=True).inc(memo_stats["misses"])
     metrics.counter("timing_cache.hits", diagnostic=True).inc(cache_stats["hits"])
     metrics.counter("timing_cache.misses", diagnostic=True).inc(cache_stats["misses"])
+    if epoch_stats is not None:
+        metrics.counter("epoch.runs", diagnostic=True).inc(
+            int(epoch_stats["epochs"]) + int(epoch_stats["episode_runs"])
+        )
+        metrics.counter("epoch.extrapolated_iterations", diagnostic=True).inc(
+            int(epoch_stats["extrapolated_iterations"])
+        )
     return metrics
 
 
@@ -454,6 +577,7 @@ class ServingScheduler:
         iteration_memo: bool = True,
         policy: Union[str, SchedulingPolicy, None] = None,
         kv_budget: Optional[int] = None,
+        epoch_compression: bool = True,
     ) -> None:
         if isinstance(design, str):
             design = DesignKind(design.lower())
@@ -461,7 +585,9 @@ class ServingScheduler:
         self.heterogeneous = heterogeneous
         self.dtype = dtype
         self.iteration_memo = iteration_memo
+        self.epoch_compression = epoch_compression
         self.policy = resolve_policy(policy, kv_budget)
+        self._design_fp: Optional[str] = None
         self._step_schedules: Dict[Tuple[ModelSpec, str], KernelSchedule] = {}
         # The previous iteration's first-fit-decreasing unit packing, reused
         # verbatim while the in-flight composition is unchanged (the common
@@ -600,13 +726,42 @@ class ServingScheduler:
         if penalties is None:
             penalties = [0] * len(active)
         return (
-            design_fingerprint(self.design),
+            self._design_fingerprint(),
             self.heterogeneous,
             self.dtype,
             tuple(
                 (state.request.model, context, unit, penalty)
                 for state, context, unit, penalty in zip(active, contexts, units, penalties)
             ),
+        )
+
+    def _design_fingerprint(self) -> str:
+        """The design's content fingerprint, computed once per scheduler."""
+        if self._design_fp is None:
+            self._design_fp = design_fingerprint(self.design)
+        return self._design_fp
+
+    def _episode_key(self, trace: ServingTrace, request: RequestSpec) -> tuple:
+        """Content key of a request shape's solo-service episode template.
+
+        Everything that can influence a solo run's outcome: the design (by
+        fingerprint), unit layout, dtype, the trace's KV bucket, and the
+        request's (model spec, prompt length, decode budget).  The SLO class
+        is deliberately absent: a solo arrival at an idle-system boundary is
+        admitted immediately with zero queueing under every shipped policy
+        (nothing to shed at age zero, nothing to evict, budget trivially
+        satisfied -- and the progress safety valve force-admits regardless),
+        and dispositions are evaluated post-loop from the stamps, so the
+        service outcome is SLO-independent.
+        """
+        return (
+            self._design_fingerprint(),
+            self.heterogeneous,
+            self.dtype,
+            trace.context_bucket,
+            request.model,
+            request.prompt_len,
+            request.decode_steps,
         )
 
     def _execute_iteration(
@@ -681,6 +836,8 @@ class ServingScheduler:
             kv_budget_bytes=self.design.soc.dram.hbm_capacity_bytes,
         )
         pending: List[RequestSpec] = list(trace.sorted_requests())
+        pend_i = 0
+        n_pending = len(pending)
         queued: List[_Queued] = []
         active: List[_InFlight] = []
         finished: Dict[str, _InFlight] = {}
@@ -696,8 +853,69 @@ class ServingScheduler:
         cache_stats = {"hits": 0, "misses": 0}
         memo_stats = {"hits": 0, "misses": 0}
         memo_table = _iteration_memo() if self.iteration_memo else None
-        iterations: List[IterationRecord] = []
+        iterations = IterationTimeline()
         recorder = trace_recorder()
+
+        # Epoch compression rides on top of the iteration memo (an epoch is
+        # a proven run of memo hits), so it degrades to exact simulation
+        # whenever the memo is off or the cache disabled.  Episode replay
+        # additionally requires no fault injector: faults are drawn per
+        # iteration *index*, so epochs can probe ahead for a clean run
+        # (clean_fault_run) but whole-request replay cannot skip the draw.
+        compress = self.epoch_compression and memo_table is not None
+        epoch_stats = fresh_epoch_stats(compress)
+        episodes = _episode_templates() if compress and injector is None else None
+        # Episode-template learning state: while exactly one request serves
+        # alone from its arrival boundary, record its (outcome, run length)
+        # segment stream; any deviation -- a second request, a fault, a
+        # pending penalty, a memo bypass -- aborts the recording.
+        learn_key: Optional[tuple] = None
+        learn_rid: Optional[str] = None
+        learn_segments: List[list] = []
+        # Episode replay bookkeeping: (first pending index, request count,
+        # template) per run, merged positionally with the exact results
+        # after the loop (``pending`` preserves trace order).
+        episode_meta: List[Tuple[int, int, EpisodeTemplate]] = []
+        # Numpy views over the pending stream for the episode run-length
+        # walk, built lazily on the first template match.
+        arrivals_np: Optional[np.ndarray] = None
+        gaps_np: Optional[np.ndarray] = None
+        shape_ids: Optional[np.ndarray] = None
+
+        def learn_record(outcome: _IterationOutcome, count: int) -> None:
+            # Consecutive iterations of one composition replay the *same*
+            # memo object, so identity merging recovers the segment runs.
+            if learn_segments and learn_segments[-1][0] is outcome:
+                learn_segments[-1][1] += count
+            else:
+                learn_segments.append([outcome, count])
+
+        def learn_abort() -> None:
+            nonlocal learn_key
+            learn_key = None
+            learn_segments.clear()
+
+        def learn_finalize(state: _InFlight) -> None:
+            nonlocal learn_key
+            # The sum check is a safety net: a recording that survived to
+            # the finish covered every decode step by construction.
+            if sum(count for _, count in learn_segments) == state.request.decode_steps:
+                episodes[learn_key] = build_episode_template(
+                    [
+                        EpisodeSegment(
+                            count=count,
+                            span_cycles=recorded.span_cycles,
+                            end_cycle=recorded.entry_end_cycles[0],
+                            kernel_count=recorded.kernel_count,
+                            energy_uj=recorded.energy_uj,
+                            resource_busy=recorded.resource_busy,
+                            cache_lookups=recorded.cache_lookups,
+                        )
+                        for recorded, count in learn_segments
+                    ]
+                )
+            learn_key = None
+            learn_segments.clear()
         # Iteration-relative kernel span shapes captured at memo-miss time,
         # keyed like the memo itself.  The merged placement is a pure
         # function of the composition, so a memo hit replays the captured
@@ -707,11 +925,110 @@ class ServingScheduler:
         # epoch spans.
         span_shapes: Dict[tuple, CapturedSpans] = {}
 
-        while pending or queued or active:
+        while pend_i < n_pending or queued or active:
+            # Episode fast path: the system is idle with no backlog and the
+            # next arrival's whole solo service is already templated --
+            # replay entire requests in closed form, vectorized over the
+            # maximal run of same-shape arrivals spaced at least one
+            # solo-service span apart (so no request in the run can be
+            # disturbed by the next).
+            if (
+                episodes is not None
+                and cache.enabled
+                and not active
+                and not queued
+                and pend_i < n_pending
+                and pending[pend_i].arrival_cycle >= now
+            ):
+                template = episodes.get(self._episode_key(trace, pending[pend_i]))
+                if template is not None:
+                    if shape_ids is None:
+                        # Stream builders stash their arrival/gap/shape
+                        # arrays on the trace; fall back to deriving them.
+                        cached = trace.__dict__.get("_stream_arrays")
+                        if cached is not None and len(cached[0]) == n_pending:
+                            arrivals_np, gaps_np, shape_ids = cached
+                        else:
+                            arrivals_np, gaps_np, shape_ids = _pending_arrays(
+                                pending
+                            )
+                    # Scalar pre-check: the head itself is disturbed when its
+                    # successor lands inside its solo span -- the common
+                    # rejection after an overlap cluster, not worth a walk.
+                    if (
+                        pend_i + 1 < n_pending
+                        and gaps_np[pend_i] < template.total_span
+                    ):
+                        count = 0
+                    else:
+                        count = _episode_run_length(
+                            pend_i, template.total_span, gaps_np, shape_ids
+                        )
+                    if count:
+                        run_arrivals = arrivals_np[pend_i : pend_i + count]
+                        iterations.append(
+                            EpisodeRun(
+                                index=len(iterations),
+                                template=template,
+                                arrivals=run_arrivals,
+                                requests=pending[pend_i : pend_i + count],
+                            )
+                        )
+                        episode_meta.append((pend_i, count, template))
+                        replay_iters = count * template.total_iterations
+                        memo_stats["hits"] += replay_iters
+                        lookups = count * template.total_lookups
+                        cache.credit_hits(lookups)
+                        cache_stats["hits"] += lookups
+                        kernel_count += count * template.total_kernels
+                        serving_cycles += count * template.total_span
+                        for resource, busy in template.busy_totals:
+                            resource_busy[resource] = (
+                                resource_busy.get(resource, 0) + count * busy
+                            )
+                        energy_uj = accumulate_energy(
+                            energy_uj, template.energy_pattern, count
+                        )
+                        now = int(run_arrivals[-1]) + template.total_span
+                        epoch_stats["episode_runs"] += 1
+                        epoch_stats["extrapolated_iterations"] += replay_iters
+                        epoch_stats["extrapolated_requests"] += count
+                        pend_i += count
+                        if recorder is not None:
+                            start = int(run_arrivals[0])
+                            recorder.add_span(
+                                f"episode x{count}",
+                                process=SCHEDULER_PROCESS,
+                                track="iterations",
+                                start=start,
+                                duration=now - start,
+                                category="epoch",
+                                args={
+                                    "requests": count,
+                                    "iterations": replay_iters,
+                                    "memo": "extrapolated",
+                                    "kernels": count * template.total_kernels,
+                                },
+                            )
+                            for resource, busy in template.busy_totals:
+                                recorder.add_span(
+                                    "epoch (extrapolated)",
+                                    process=UNITS_PROCESS,
+                                    track=resource,
+                                    start=start,
+                                    duration=now - start,
+                                    category="epoch",
+                                    args={
+                                        "busy_cycles": count * busy,
+                                        "kernels": count * template.total_kernels,
+                                    },
+                                )
+                        continue
             # Arrivals: iteration-level continuous batching enqueues every
             # request whose arrival has passed at the iteration boundary.
-            while pending and pending[0].arrival_cycle <= now:
-                request = pending.pop(0)
+            while pend_i < n_pending and pending[pend_i].arrival_cycle <= now:
+                request = pending[pend_i]
+                pend_i += 1
                 queued.append(_Queued(request=request, enqueued_cycle=request.arrival_cycle))
 
             # Control plane: shed hopeless waiters, preempt for higher
@@ -779,8 +1096,8 @@ class ServingScheduler:
                         )
                     )
             if not active:
-                if pending:
-                    now = pending[0].arrival_cycle
+                if pend_i < n_pending:
+                    now = pending[pend_i].arrival_cycle
                 continue
 
             contexts = [
@@ -835,15 +1152,48 @@ class ServingScheduler:
                 memo_stats["misses"] += 1
                 cache_stats["hits"] += outcome.cache_hits
                 cache_stats["misses"] += outcome.cache_misses
+                horizon = 1
             else:
-                memo_stats["hits"] += 1
+                # Epoch extrapolation: on a memo hit with an empty queue, no
+                # pending penalties and no stall, the composition provably
+                # recurs -- the control plane is a no-op at every boundary
+                # until the first transient (soonest finish, KV-bucket
+                # crossing, next arrival, or injected fault), and every
+                # per-iteration quantity is constant.  The horizon is the
+                # exact count of such iterations; covering them in one
+                # arithmetic step is what turns steady traffic into O(1)
+                # epochs, mirroring execute_flash_loop's KV-tile
+                # extrapolation one level down.
+                horizon = 1
+                span = outcome.span_cycles
+                if (
+                    compress
+                    and stall == 0
+                    and not queued
+                    and span > 0
+                    and not any(penalties)
+                ):
+                    horizon = epoch_horizon(
+                        [s.request.decode_steps - s.steps_done for s in active],
+                        [
+                            context - s.request.context_at(s.steps_done) + 1
+                            for s, context in zip(active, contexts)
+                        ],
+                        span,
+                        now,
+                        pending[pend_i].arrival_cycle if pend_i < n_pending else None,
+                    )
+                    if injector is not None and horizon > 1:
+                        horizon = 1 + clean_fault_run(injector, index + 1, horizon - 1)
+                memo_stats["hits"] += horizon
                 # Replaying the outcome skips the per-kernel cache probes the
                 # execution would have performed (all hits on a warm cache);
                 # credit them so memoized and non-memoized runs report the
                 # same lookup totals.
-                cache.credit_hits(outcome.cache_lookups)
-                cache_stats["hits"] += outcome.cache_lookups
-                if recorder is not None:
+                lookups = horizon * outcome.cache_lookups
+                cache.credit_hits(lookups)
+                cache_stats["hits"] += lookups
+                if horizon == 1 and recorder is not None:
                     shape = span_shapes.get(key)
                     if shape is not None:
                         recorder.replay(shape, base=now)
@@ -861,6 +1211,108 @@ class ServingScheduler:
                                     "kernels": outcome.kernel_count,
                                 },
                             )
+
+            # Episode-template learning: start on the first iteration of a
+            # request serving alone from its arrival boundary, keep
+            # recording while the solo run stays undisturbed, abort on any
+            # deviation.  Epoch hits record their whole run in one segment.
+            if learn_key is not None:
+                if (
+                    len(active) == 1
+                    and active[0].request.request_id == learn_rid
+                    and key is not None
+                    and stall == 0
+                    and not queued
+                    and penalties[0] == 0
+                ):
+                    learn_record(outcome, horizon)
+                else:
+                    learn_abort()
+            elif (
+                episodes is not None
+                and len(active) == 1
+                and not queued
+                and key is not None
+                and stall == 0
+                and penalties[0] == 0
+                and active[0].steps_done == 0
+                and active[0].admitted_cycle == active[0].request.arrival_cycle
+                and now == active[0].request.arrival_cycle
+            ):
+                candidate = self._episode_key(trace, active[0].request)
+                if candidate not in episodes:
+                    learn_key = candidate
+                    learn_rid = active[0].request.request_id
+                    learn_record(outcome, horizon)
+
+            if horizon >= 2:
+                # Whole-epoch bookkeeping, byte-identical to running the
+                # horizon's iterations one by one: integer quantities
+                # advance by exact multiples, energy replays the identical
+                # sequential float sum (accumulate_energy), and the record
+                # stays compressed in the timeline.
+                for state, end in zip(active, outcome.entry_end_cycles):
+                    if state.first_token_cycle is None:
+                        state.first_token_cycle = now + end
+                    state.steps_done += horizon
+                    if state.steps_done == state.request.decode_steps:
+                        state.finish_cycle = now + (horizon - 1) * span + end
+                        finished[state.request.request_id] = state
+                if learn_key is not None and active[0].finish_cycle is not None:
+                    learn_finalize(active[0])
+                if recorder is not None:
+                    recorder.add_span(
+                        f"epoch x{horizon}",
+                        process=SCHEDULER_PROCESS,
+                        track="iterations",
+                        start=now,
+                        duration=horizon * span,
+                        category="epoch",
+                        args={
+                            "batch": len(active),
+                            "requests": [s.request.request_id for s in active],
+                            "iterations": horizon,
+                            "span_cycles": span,
+                            "memo": "extrapolated",
+                            "kernels": horizon * outcome.kernel_count,
+                        },
+                    )
+                    for resource, busy in outcome.resource_busy:
+                        recorder.add_span(
+                            "epoch (extrapolated)",
+                            process=UNITS_PROCESS,
+                            track=resource,
+                            start=now,
+                            duration=horizon * span,
+                            category="epoch",
+                            args={
+                                "busy_cycles": horizon * busy,
+                                "kernels": horizon * outcome.kernel_count,
+                            },
+                        )
+                iterations.append(
+                    EpochRecord(
+                        index=index,
+                        start_cycle=now,
+                        span_cycles=span,
+                        count=horizon,
+                        request_ids=[s.request.request_id for s in active],
+                    )
+                )
+                serving_cycles += horizon * span
+                kernel_count += horizon * outcome.kernel_count
+                energy_uj = accumulate_energy_scalar(
+                    energy_uj, outcome.energy_uj, horizon
+                )
+                for resource, busy in outcome.resource_busy:
+                    resource_busy[resource] = (
+                        resource_busy.get(resource, 0) + horizon * busy
+                    )
+                epoch_stats["epochs"] += 1
+                epoch_stats["extrapolated_iterations"] += horizon
+                now += horizon * span
+                active = [state for state in active if state.finish_cycle is None]
+                continue
 
             # The iteration's effective span: the merged schedule's makespan,
             # stretched by any re-admission penalty serialized in front of a
@@ -891,6 +1343,10 @@ class ServingScheduler:
                 if state.steps_done == state.request.decode_steps:
                     state.finish_cycle = done_at
                     finished[state.request.request_id] = state
+            # A surviving recording implies the learner is active[0] (any
+            # batch growth or identity change aborted it above).
+            if learn_key is not None and active[0].finish_cycle is not None:
+                learn_finalize(active[0])
 
             if recorder is not None:
                 recorder.add_span(
@@ -926,6 +1382,7 @@ class ServingScheduler:
                     request_ids=[state.request.request_id for state in active],
                 )
             )
+            epoch_stats["executed_iterations"] += 1
             serving_cycles += effective_span
             kernel_count += outcome.kernel_count
             energy_uj += outcome.energy_uj
@@ -935,12 +1392,82 @@ class ServingScheduler:
             now += effective_span
             active = [state for state in active if state.finish_cycle is None]
 
+        specs = trace.sorted_requests()
         requests: List[RequestResult] = []
-        for request in trace.sorted_requests():
+        zero_wait = 0
+        queue_waits: List[int] = []
+        meta_pos = 0
+        position = 0
+        total_requests = len(specs)
+        while position < total_requests:
+            if meta_pos < len(episode_meta) and episode_meta[meta_pos][0] == position:
+                # Episode-replayed requests: ``pending`` preserved trace
+                # order, so each run covers a contiguous span of the sorted
+                # stream and its stamps are pure offsets from the arrival.
+                start, count, template = episode_meta[meta_pos]
+                meta_pos += 1
+                ttft = template.first_token_end
+                latency = template.finish_offset
+                zero_wait += count
+                run_specs = specs[start : start + count]
+                head = run_specs[0]
+                # Prototype with every run-constant field resolved; the
+                # per-request loop below only patches the five that vary.
+                # This is the per-request hot path of a compressed
+                # million-request run, hence the dataclass-__init__ bypass.
+                proto = {
+                    "request_id": "",
+                    "arrival_cycle": 0,
+                    "admitted_cycle": 0,
+                    "first_token_cycle": 0,
+                    "finish_cycle": 0,
+                    "prompt_len": head.prompt_len,
+                    "decode_steps": head.decode_steps,
+                    "model_family": head.model.family,
+                    "disposition": None,
+                    "slo_class": None,
+                    "preemptions": 0,
+                    "terminal_cycle": None,
+                }
+                disposition_for: Dict[object, Optional[str]] = {}
+                new_result = RequestResult.__new__
+                append = requests.append
+                for request in run_specs:
+                    arrival = request.arrival_cycle
+                    finish = arrival + latency
+                    fields = dict(proto)
+                    fields["request_id"] = request.request_id
+                    fields["arrival_cycle"] = arrival
+                    fields["admitted_cycle"] = arrival
+                    fields["first_token_cycle"] = arrival + ttft
+                    fields["finish_cycle"] = finish
+                    if control_active:
+                        # ttft/latency (and decode budget) are constant
+                        # across the run, so the verdict only varies with
+                        # the SLO class.
+                        if request.slo in disposition_for:
+                            disposition = disposition_for[request.slo]
+                        else:
+                            disposition = evaluate_disposition(request, ttft, latency)
+                            disposition_for[request.slo] = disposition
+                        fields["disposition"] = disposition
+                        fields["slo_class"] = (
+                            request.slo.name if request.slo is not None else None
+                        )
+                        fields["terminal_cycle"] = finish
+                    result = new_result(RequestResult)
+                    result.__dict__ = fields
+                    append(result)
+                position += count
+                continue
+            request = specs[position]
+            position += 1
             rid = request.request_id
             slo_name = request.slo.name if request.slo is not None else None
             if rid in finished:
                 state = finished[rid]
+                if state.admitted_cycle is not None:
+                    queue_waits.append(state.admitted_cycle - request.arrival_cycle)
                 disposition = (
                     evaluate_disposition(
                         request,
@@ -968,6 +1495,8 @@ class ServingScheduler:
                 )
             else:
                 entry, disposition, cycle = terminated[rid]
+                if entry.admitted_cycle is not None:
+                    queue_waits.append(entry.admitted_cycle - request.arrival_cycle)
                 requests.append(
                     RequestResult(
                         request_id=rid,
@@ -1044,6 +1573,7 @@ class ServingScheduler:
             resource_busy=resource_busy,
             timing_cache=cache_stats,
             iteration_memo=memo_stats,
+            epochs=epoch_stats,
             metrics=_serving_metrics(
                 requests, iterations, now, serving_cycles, kernel_count,
                 resource_busy, cache_stats, memo_stats,
@@ -1051,6 +1581,8 @@ class ServingScheduler:
                 goodput=goodput,
                 dispositions=dispositions,
                 preemption_count=preemption_count,
+                epoch_stats=epoch_stats,
+                queue_waits=(zero_wait, queue_waits),
             ),
             policy=self.policy.name,
             control_active=control_active,
@@ -1097,6 +1629,7 @@ def run_serving(
     kv_budget: Optional[int] = None,
     faults: Union[str, FaultPlan, None] = None,
     fault_seed: int = 0,
+    epoch_compression: bool = True,
 ) -> ServingRunResult:
     """Continuous-batch a serving trace on one design (zoo name or explicit).
 
@@ -1118,6 +1651,7 @@ def run_serving(
         iteration_memo=iteration_memo,
         policy=policy,
         kv_budget=kv_budget,
+        epoch_compression=epoch_compression,
     )
     with phase("serving.run", trace=trace if isinstance(trace, str) else trace.name):
         return scheduler.run(trace, faults=faults)

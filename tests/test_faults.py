@@ -12,6 +12,8 @@ import json
 
 import pytest
 
+from differential import assert_byte_identical
+
 from repro.__main__ import main
 from repro.faults import FaultInjector, FaultPlan
 from repro.workloads import (
@@ -158,9 +160,7 @@ class TestChaosRuns:
                         faults=PLAN_SPEC, fault_seed=SEED)
             for _ in range(2)
         ]
-        assert json.dumps(runs[0].to_dict(), sort_keys=True) == json.dumps(
-            runs[1].to_dict(), sort_keys=True
-        )
+        assert_byte_identical(runs[0], runs[1], context="same fault seed")
 
     def test_different_seed_differs(self):
         a = run_serving("bursty-slo", faults=PLAN_SPEC, fault_seed=SEED)
@@ -172,9 +172,7 @@ class TestChaosRuns:
                       faults=PLAN_SPEC, fault_seed=SEED)
         warm = run_serving("bursty-slo", iteration_memo=True, **kwargs)
         cold = run_serving("bursty-slo", iteration_memo=False, **kwargs)
-        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
-            cold.to_dict(), sort_keys=True
-        )
+        assert_byte_identical(warm, cold, context="memo on vs off under faults")
 
     def test_spikes_never_poison_caches(self):
         # Clean -> faulted -> clean: the third run must match the first
@@ -184,9 +182,7 @@ class TestChaosRuns:
         before = run_serving(trace)
         run_serving(trace, faults="spike:1.0:5.0", fault_seed=1)
         after = run_serving(trace)
-        assert json.dumps(before.to_dict(), sort_keys=True) == json.dumps(
-            after.to_dict(), sort_keys=True
-        )
+        assert_byte_identical(before, after, context="clean run after faulted run")
 
     def test_stalls_extend_makespan(self):
         trace = tiny_trace()

@@ -16,6 +16,8 @@ import json
 
 import pytest
 
+from differential import assert_byte_identical
+
 from repro.config.presets import DesignKind
 from repro.kernels.flash_attention import (
     FlashAttentionWorkload,
@@ -79,9 +81,11 @@ class TestCompressedEqualsExpanded:
         assert compressed["mac_utilization_percent"] == pytest.approx(
             expanded_kernel.mac_utilization_percent
         )
-        first = json.dumps(compressed, sort_keys=True)
-        second = json.dumps(run_flash_attention(design, workload).to_dict(), sort_keys=True)
-        assert first == second
+        assert_byte_identical(
+            compressed,
+            run_flash_attention(design, workload),
+            context="flash run encoding stability",
+        )
 
 
 class TestConstantOperationGraph:

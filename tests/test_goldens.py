@@ -19,13 +19,19 @@ which ``test_goldens_are_reproducible`` enforces directly.
 import json
 
 from repro.analysis.model_breakdown import model_overlap_report
-from repro.analysis.serving import serving_latency_report
+from repro.analysis.serving import serving_latency_report, serving_perf_stats
 from repro.config.presets import DesignKind
+from repro.analysis.trace_report import trace_summary
+from repro.obs import TraceRecorder, tracing
+from repro.perf import timing_cache
 from repro.runner import run_flash_attention, run_gemm, to_json
 from repro.workloads import (
+    REQUEST_MODELS,
     ModelSpec,
     RequestSpec,
     ServingTrace,
+    build_request_stream,
+    build_stream_trace,
     run_model,
     run_serving,
 )
@@ -77,6 +83,50 @@ def test_serving_run_result_golden(golden):
 def test_serving_latency_report_golden(golden):
     result = run_serving(SERVING_TRACE, DesignKind.VIRGO)
     golden("serving_latency_tiny", serving_latency_report(result))
+
+
+#: Widely spaced solo requests: the shape epoch compression serves entirely
+#: through learned episodes, so its diagnostics and trace are non-trivial.
+EPOCH_TRACE = build_stream_trace(
+    "golden-epochs",
+    build_request_stream(
+        REQUEST_MODELS["gpt-request"],
+        [index * 3_000_000 for index in range(4)],
+        prompt_len=105,
+        decode_steps=24,
+    ),
+)
+
+
+def test_serving_seed_parity_without_compression(golden):
+    """``epoch_compression=False`` reproduces the pre-epoch (PR 7) serving
+    output byte for byte: same golden file as the compressed default."""
+    golden(
+        "serving_trace_tiny",
+        run_serving(
+            SERVING_TRACE, DesignKind.VIRGO, epoch_compression=False
+        ).to_dict(),
+    )
+
+
+def test_serving_perf_stats_epoch_golden(golden):
+    """The ``serve --json`` perf section (cold run): cache, memo and epoch
+    diagnostics.  Cleared cache first -- the stats are process-state."""
+    timing_cache().clear()
+    result = run_serving(EPOCH_TRACE, DesignKind.VIRGO)
+    golden("serving_epoch_perf_tiny", serving_perf_stats(result))
+
+
+def test_epoch_trace_summary_golden(golden):
+    """trace-report's summary over a run whose tail is epoch/episode
+    compressed: extrapolated runs export as single annotated spans."""
+    timing_cache().clear()
+    run_serving(EPOCH_TRACE, DesignKind.VIRGO)  # learn the episode template
+    recorder = TraceRecorder(capture_phases=False)
+    with tracing(recorder):
+        result = run_serving(EPOCH_TRACE, DesignKind.VIRGO)
+    assert result.epochs["episode_runs"] >= 1
+    golden("trace_summary_epochs", trace_summary(recorder.chrome_trace(), top=5))
 
 
 def test_to_json_matches_to_dict_encoding():

@@ -20,6 +20,8 @@ import json
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from differential import assert_byte_identical
+
 from repro.analysis.serving import serving_latency_report, serving_perf_stats
 from repro.config.presets import DesignKind
 from repro.perf import cache_disabled, timing_cache
@@ -83,9 +85,7 @@ def test_memo_never_changes_results(trace, heterogeneous):
     memoized = run_serving(trace, DesignKind.VIRGO, heterogeneous=heterogeneous)
     baseline = run_serving(trace, DesignKind.VIRGO, heterogeneous=heterogeneous,
                            iteration_memo=False)
-    assert json.dumps(memoized.to_dict(), sort_keys=True) == json.dumps(
-        baseline.to_dict(), sort_keys=True
-    )
+    assert_byte_identical(memoized, baseline, context="memo on vs off")
     assert serving_latency_report(memoized) == serving_latency_report(baseline)
     timing_cache().clear()
 
@@ -130,9 +130,7 @@ def test_memo_shared_across_scheduler_instances():
     assert first.iteration_memo["misses"] > 0
     assert second.iteration_memo["misses"] == 0
     assert second.iteration_memo["hits"] == second.iteration_count
-    assert json.dumps(second.to_dict(), sort_keys=True) == json.dumps(
-        first.to_dict(), sort_keys=True
-    )
+    assert_byte_identical(second, first, context="memo replay vs first run")
     timing_cache().clear()
 
 
