@@ -16,7 +16,7 @@ that (and its accuracy impact) as well.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -29,7 +29,15 @@ from repro.kernels.gemm.instruction_streams import _fragment_loads
 from repro.kernels.gemm.schedule_loops import (
     FlashLoopSpec,
     FlashPipe,
+    FlashSegment,
     execute_flash_loop,
+)
+from repro.kernels.masking import (
+    masked_elements,
+    masked_elements_varlen,
+    tile_trips,
+    tile_trips_varlen,
+    trip_segments,
 )
 from repro.memory.dma import DmaEngine
 from repro.memory.dram import DramChannel
@@ -131,29 +139,106 @@ def flash_attention_reference(
 
 @dataclass(frozen=True)
 class FlashAttentionWorkload:
-    """Forward-pass attention problem (paper: seq 1024, head dim 64, 1 head)."""
+    """Forward-pass attention problem (paper: seq 1024, head dim 64, 1 head).
+
+    The mask fields describe the shapes a serving mix actually contains:
+    ``causal`` turns on the triangular mask; ``kv_len > seq_len`` is causal
+    prefill over prior KV context (chunked prefill -- the current chunk is
+    the tail of the context); ``window`` keeps only the last ``window``
+    allowed keys per query (sliding-window attention); ``seq_lens`` packs a
+    ragged batch into one kernel call (varlen: each sequence attends only
+    to itself, block-diagonal causal).  Work accounting is *exact*: score
+    elements come from the integer mask arithmetic in
+    :mod:`repro.kernels.masking`, and the tile loop visits only the KV
+    tiles the mask leaves non-empty (a visited tile costs full tile work --
+    tile-granular skipping, as production flash kernels implement).
+    """
 
     seq_len: int = 1024
     head_dim: int = 64
     heads: int = 1
     block_q: int = 64
     block_kv: int = 64
+    causal: bool = False
+    kv_len: int = 0  # 0 = seq_len; larger = causal prefill over prior context
+    window: int = 0  # sliding-window width; 0 = unwindowed
+    seq_lens: Tuple[int, ...] = ()  # varlen packed batch; sum == seq_len
+
+    def __post_init__(self) -> None:
+        if self.seq_len <= 0 or self.head_dim <= 0 or self.heads <= 0:
+            raise ValueError("flash workload dimensions must be positive")
+        if self.block_q <= 0 or self.block_kv <= 0:
+            raise ValueError("flash tile sizes must be positive")
+        if (self.window or self.seq_lens or self.kv_len) and not self.causal:
+            raise ValueError(
+                "window / kv_len / seq_lens describe causal masks; set causal=True"
+            )
+        if self.kv_len and self.kv_len < self.seq_len:
+            raise ValueError(
+                f"kv_len ({self.kv_len}) must be >= seq_len ({self.seq_len})"
+            )
+        if self.seq_lens:
+            if self.kv_len:
+                raise ValueError("varlen batches carry no prior context (kv_len)")
+            if any(length <= 0 for length in self.seq_lens):
+                raise ValueError(f"seq_lens must be positive, got {self.seq_lens}")
+            if sum(self.seq_lens) != self.seq_len:
+                raise ValueError(
+                    f"seq_lens {self.seq_lens} must sum to seq_len {self.seq_len}"
+                )
+
+    @property
+    def kv_length(self) -> int:
+        return self.kv_len or self.seq_len
+
+    @property
+    def score_elements(self) -> int:
+        """Surviving score elements per head -- the exact mask count."""
+        if not self.causal:
+            return self.seq_len * self.kv_length
+        if self.seq_lens:
+            return masked_elements_varlen(self.seq_lens, self.window)
+        return masked_elements(self.seq_len, self.kv_length, self.window)
 
     @property
     def gemm_macs(self) -> int:
         """MACs of the two GEMMs (S = QK^T and O = PV) across all heads."""
-        return 2 * self.heads * self.seq_len * self.seq_len * self.head_dim
+        return 2 * self.heads * self.score_elements * self.head_dim
 
     @property
     def softmax_elements(self) -> int:
-        return self.heads * self.seq_len * self.seq_len
+        return self.heads * self.score_elements
+
+    def head_trips(self) -> "list[int]":
+        """Visited-KV-tile count per Q tile of one head."""
+        if self.seq_lens:
+            return tile_trips_varlen(self.seq_lens, self.block_q, self.block_kv,
+                                     self.window)
+        if self.causal:
+            return tile_trips(self.seq_len, self.kv_length, self.block_q,
+                              self.block_kv, self.window)
+        q_tiles = -(-self.seq_len // self.block_q)
+        kv_tiles = -(-self.kv_length // self.block_kv)
+        return [kv_tiles] * q_tiles
+
+    def flash_segments(self) -> Tuple[FlashSegment, ...]:
+        """Run-length-encoded per-head trip profile for the tile loop.
+
+        Empty for unmasked workloads: the spec then takes the historical
+        uniform-loop path, which keeps every existing unmasked schedule
+        (and golden file) byte-identical.
+        """
+        if not self.causal:
+            return ()
+        return tuple(
+            FlashSegment(q_tiles=q_tiles, kv_trips=trips)
+            for q_tiles, trips in trip_segments(self.head_trips())
+        )
 
     @property
     def iterations(self) -> int:
-        """(Q tile, KV tile) loop iterations."""
-        q_tiles = -(-self.seq_len // self.block_q)
-        kv_tiles = -(-self.seq_len // self.block_kv)
-        return self.heads * q_tiles * kv_tiles
+        """(Q tile, KV tile) loop iterations the kernel actually executes."""
+        return self.heads * sum(self.head_trips())
 
 
 @dataclass
@@ -274,9 +359,11 @@ class VirgoFlashAttentionKernel:
         # Software pipeline: per iteration the matrix unit, the SIMT softmax
         # and the next KV tile's DMA all run concurrently and re-synchronize
         # at the fence + cluster barrier, so each iteration is paced by its
-        # slowest pipe plus the sync cost.  The loop is scheduled through
-        # the steady-state engine (O(1) in ``heads x q_tiles x kv_tiles``)
-        # unless ``full_expansion`` asks for the materialized graph.
+        # slowest pipe plus the sync cost.  Masked workloads visit only the
+        # KV tiles their trip profile keeps.  The loop is scheduled through
+        # the steady-state engine (O(#segments), independent of ``heads x
+        # q_tiles x kv_tiles``) unless ``full_expansion`` asks for the
+        # materialized graph.
         spec = FlashLoopSpec(
             iterations=workload.iterations,
             pipes=(
@@ -289,6 +376,8 @@ class VirgoFlashAttentionKernel:
             prologue_cycles=self.dma.transfer_cycles(3 * bq * d * 4),
             epilogue_cycles=self.dma.transfer_cycles(bq * d * 4),
             epilogue_count=workload.seq_len // bq,
+            trip_profile=workload.flash_segments(),
+            profile_repeats=workload.heads if workload.causal else 1,
         )
         schedule = execute_flash_loop(spec, full_expansion=full_expansion)
 
@@ -437,7 +526,8 @@ class AmpereFlashAttentionKernel:
 
         # Ping-pong iteration: the warp-specialized core phase (GEMM + softmax
         # groups, closed by the core barrier) overlaps only with the DMA of
-        # the next KV tile; the slower of the two paces the loop.
+        # the next KV tile; the slower of the two paces the loop.  Masked
+        # workloads skip the KV tiles their trip profile rules out.
         spec = FlashLoopSpec(
             iterations=workload.iterations,
             pipes=(
@@ -449,6 +539,8 @@ class AmpereFlashAttentionKernel:
                 FlashPipe(kind="dma", resource="dma", cycles=dma_cycles),
             ),
             prologue_cycles=self.dma.transfer_cycles(3 * workload.block_q * d * 4),
+            trip_profile=workload.flash_segments(),
+            profile_repeats=workload.heads if workload.causal else 1,
         )
         schedule = execute_flash_loop(spec, full_expansion=full_expansion)
 

@@ -7,7 +7,11 @@ load dependencies.  :class:`GemmLoopSpec` captures those knobs.  The fused
 flash-attention kernels walk a different but equally periodic structure --
 a software-pipelined (Q tile, KV tile) loop whose concurrent pipes (matrix
 unit, SIMT softmax, DMA) re-synchronize at a fence + barrier every
-iteration -- captured by :class:`FlashLoopSpec`.
+iteration -- captured by :class:`FlashLoopSpec`.  Masked kernels (causal,
+sliding window, varlen) do not visit every KV tile: their per-Q-tile trip
+counts arrive run-length-encoded as :class:`FlashSegment` runs
+(``trip_profile``), and both executors walk exactly that plan, so skipped
+tiles cost nothing while the schedule stays O(#segments).
 
 :func:`execute_gemm_loop` / :func:`execute_flash_loop` turn a spec into the
 scheduled totals either by
@@ -41,6 +45,7 @@ __all__ = [
     "GemmLoopSchedule",
     "execute_gemm_loop",
     "FlashPipe",
+    "FlashSegment",
     "FlashLoopSpec",
     "execute_flash_loop",
 ]
@@ -267,6 +272,21 @@ class FlashPipe:
 
 
 @dataclass(frozen=True)
+class FlashSegment:
+    """A run of consecutive Q tiles sharing one visited-KV-tile count.
+
+    Masked kernels (causal, causal-with-history, sliding window, varlen)
+    skip KV tiles the mask rules out entirely, so the per-Q-tile trip count
+    is not uniform -- but it *is* piecewise constant, and run-length
+    encoding it into segments is what keeps the compressed schedule
+    O(#segments) instead of O(#tiles).  See :mod:`repro.kernels.masking`.
+    """
+
+    q_tiles: int
+    kv_trips: int
+
+
+@dataclass(frozen=True)
 class FlashLoopSpec:
     """Software-pipelined (Q tile, KV tile) loop of a fused attention kernel.
 
@@ -278,6 +298,14 @@ class FlashLoopSpec:
     cost.  ``prologue_cycles`` models the initial Q/K/V loads the first
     iteration waits on; ``epilogue_count`` stores of ``epilogue_cycles``
     each drain the output tiles after the loop.
+
+    ``trip_profile`` carries the masked iteration structure: the
+    run-length-encoded per-Q-tile visited-KV-tile counts of *one head*
+    (:class:`FlashSegment` runs), repeated ``profile_repeats`` times (one
+    repeat per head -- every head shares the mask).  An empty profile means
+    the historical uniform loop: ``iterations`` identical trips.  When a
+    profile is present its total trip count must equal ``iterations``, so
+    both executors walk exactly the same operations.
     """
 
     iterations: int
@@ -289,6 +317,8 @@ class FlashLoopSpec:
     epilogue_cycles: int = 0
     epilogue_count: int = 0
     epilogue_resource: str = "dma"
+    trip_profile: Tuple[FlashSegment, ...] = ()
+    profile_repeats: int = 1
 
     def __post_init__(self) -> None:
         if not self.pipes:
@@ -298,6 +328,22 @@ class FlashLoopSpec:
             # Pipe kinds double as per-pipe anchor names (and reporting
             # keys), so they must be distinct within one spec.
             raise ValueError(f"flash pipe kinds must be distinct, got {kinds}")
+        if self.trip_profile:
+            if self.profile_repeats <= 0:
+                raise ValueError("profile_repeats must be positive")
+            for segment in self.trip_profile:
+                if segment.q_tiles <= 0 or segment.kv_trips <= 0:
+                    raise ValueError(
+                        f"flash segments need positive tile/trip counts, got {segment}"
+                    )
+            total = self.profile_repeats * sum(
+                segment.q_tiles * segment.kv_trips for segment in self.trip_profile
+            )
+            if total != self.iterations:
+                raise ValueError(
+                    f"trip profile covers {total} iterations but the spec "
+                    f"declares {self.iterations}"
+                )
 
     def resources(self) -> Tuple[str, ...]:
         """Every resource the loop occupies, in deterministic order."""
@@ -318,6 +364,22 @@ def execute_flash_loop(
     return _execute_flash_compressed(spec)
 
 
+def _flash_iteration_plan(spec: FlashLoopSpec):
+    """Yield ``(repeat, segment)`` covering every iteration of the spec.
+
+    A spec without a trip profile is one uniform segment; with a profile,
+    the plan replays the per-head segment runs ``profile_repeats`` times.
+    Both executors iterate this plan, so they materialize *identical*
+    operation sequences by construction.
+    """
+    if not spec.trip_profile:
+        yield 0, FlashSegment(q_tiles=1, kv_trips=spec.iterations)
+        return
+    for repeat in range(spec.profile_repeats):
+        for segment in spec.trip_profile:
+            yield repeat, segment
+
+
 def _execute_flash_expanded(spec: FlashLoopSpec) -> GemmLoopSchedule:
     graph = OperationGraph()
     for name in spec.resources():
@@ -329,23 +391,27 @@ def _execute_flash_expanded(spec: FlashLoopSpec) -> GemmLoopSchedule:
             "prologue", spec.prologue_resource, spec.prologue_cycles, kind="prologue"
         )
         chain = "prologue"
-    for index in range(spec.iterations):
-        pipe_names = []
-        for pipe in spec.pipes:
-            name = f"{pipe.kind}.i{index}"
+    index = 0
+    for _, segment in _flash_iteration_plan(spec):
+        for _ in range(segment.q_tiles * segment.kv_trips):
+            pipe_names = []
+            for pipe in spec.pipes:
+                name = f"{pipe.kind}.i{index}"
+                graph.add_operation(
+                    name,
+                    pipe.resource,
+                    pipe.cycles,
+                    deps=[chain] if chain else [],
+                    kind=pipe.kind,
+                )
+                pipe_names.append(name)
+            sync_name = f"sync.i{index}"
             graph.add_operation(
-                name,
-                pipe.resource,
-                pipe.cycles,
-                deps=[chain] if chain else [],
-                kind=pipe.kind,
+                sync_name, spec.sync_resource, spec.sync_cycles, deps=pipe_names,
+                kind="sync",
             )
-            pipe_names.append(name)
-        sync_name = f"sync.i{index}"
-        graph.add_operation(
-            sync_name, spec.sync_resource, spec.sync_cycles, deps=pipe_names, kind="sync"
-        )
-        chain = sync_name
+            chain = sync_name
+            index = index + 1
     for index in range(spec.epilogue_count):
         name = f"epilogue.{index}"
         graph.add_operation(
@@ -399,7 +465,27 @@ def _execute_flash_compressed(spec: FlashLoopSpec) -> GemmLoopSchedule:
             sets=(_CHAIN,),
         )
     )
-    engine.run_loop(body, spec.iterations)
+    if not spec.trip_profile:
+        engine.run_loop(body, spec.iterations)
+    else:
+        # Masked loop: walk the segmented profile.  Each segment is a run of
+        # Q tiles with one trip count; the inner ``run_loop`` compresses a
+        # tile's KV trips, ``run_outer`` collapses the identical tiles of the
+        # run, and a second ``run_outer`` collapses the identical heads --
+        # the executed-operation count is O(#segments), independent of both
+        # the sequence length and the head count.
+        def profile_body() -> None:
+            for segment in spec.trip_profile:
+                def tile_body() -> None:
+                    engine.run_loop(body, segment.kv_trips)
+
+                tile_body()
+                if segment.q_tiles > 1:
+                    engine.run_outer(tile_body, segment.q_tiles - 1)
+
+        profile_body()
+        if spec.profile_repeats > 1:
+            engine.run_outer(profile_body, spec.profile_repeats - 1)
     if spec.epilogue_count:
         engine.run_loop(
             [

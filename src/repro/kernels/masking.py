@@ -1,0 +1,164 @@
+"""Exact integer mask accounting for attention score work.
+
+Every masked-attention shape the workload layer expresses -- full causal,
+causal over prior KV context (chunked prefill / decode), sliding-window
+causal, and ragged (varlen) packed batches -- reduces to one question the
+timing model must answer exactly: *how many score elements survive the
+mask*, and *which (Q tile, KV tile) pairs contain at least one of them*.
+
+This module answers both in closed form, in pure integers:
+
+* :func:`masked_elements` counts surviving score elements of one
+  (``seq`` x ``kv``) attention map.  The causal mask with prior context is
+  a trapezoid (``seq * kv - seq*(seq-1)/2`` elements); a sliding window
+  caps every row at ``window``; both are sums of a clamped arithmetic
+  series, so no float ever appears and nothing is approximated.
+* :func:`tile_trips` computes, per Q tile, how many KV tiles the fused
+  flash kernel actually visits: above-diagonal tiles are skipped entirely,
+  tiles left of the window's trailing edge likewise, and a *visited* tile
+  costs full tile work (the kernel computes the whole tile and masks
+  inside it -- tile-granular skipping, exactly what production flash
+  kernels implement).
+* :func:`trip_segments` run-length-encodes the per-Q-tile trip counts into
+  ``(q_tiles, kv_trips)`` segments -- the profile
+  :class:`repro.kernels.gemm.schedule_loops.FlashLoopSpec` consumes, and
+  the unit of the steady-state compression contract: schedule cost is
+  O(#segments), not O(#tiles).
+
+Conventions shared by every helper: queries are rows ``0..seq-1`` of the
+*current* chunk, keys are columns ``0..kv-1`` of the full context, and the
+causal diagonal sits at offset ``kv - seq`` (the current chunk is the tail
+of the context, so the last query sees everything).  ``window = 0`` means
+unwindowed; ``window = w`` lets query ``i`` attend to the ``w`` most recent
+allowed keys.  The brute-force numpy oracle these formulas are verified
+against lives in ``tests/test_masked_attention.py``, deliberately outside
+this module so the two implementations stay independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "allowed_keys",
+    "masked_elements",
+    "masked_elements_varlen",
+    "tile_trips",
+    "tile_trips_varlen",
+    "trip_segments",
+]
+
+
+def _validate(seq: int, kv: int, window: int) -> None:
+    if seq <= 0:
+        raise ValueError(f"seq must be positive, got {seq}")
+    if kv < seq:
+        raise ValueError(
+            f"causal attention needs kv >= seq (the chunk is the tail of the "
+            f"context), got kv={kv} < seq={seq}"
+        )
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+
+
+def allowed_keys(row: int, seq: int, kv: int, window: int = 0) -> Tuple[int, int]:
+    """Half-open key range ``[lo, hi)`` query ``row`` may attend to.
+
+    The causal rule: query ``row`` of the chunk sits at absolute position
+    ``(kv - seq) + row`` and sees keys ``0..position`` inclusive; a sliding
+    window keeps only the last ``window`` of those.
+    """
+    _validate(seq, kv, window)
+    if not 0 <= row < seq:
+        raise ValueError(f"row {row} outside 0..{seq - 1}")
+    hi = (kv - seq) + row + 1
+    lo = max(0, hi - window) if window else 0
+    return lo, hi
+
+
+def masked_elements(seq: int, kv: int, window: int = 0) -> int:
+    """Surviving score elements of one causal (``seq`` x ``kv``) map.
+
+    Row ``i`` keeps ``min((kv - seq) + i + 1, window or kv)`` elements; the
+    sum is an arithmetic series up to the row where the window cap engages,
+    plus a constant tail.  Exact integer arithmetic throughout.
+    """
+    _validate(seq, kv, window)
+    offset = kv - seq
+    cap = min(window, kv) if window else kv
+    # Rows 0..uncapped-1 keep offset+i+1 elements; the rest keep ``cap``.
+    uncapped = min(max(cap - offset - 1, 0), seq)
+    series = uncapped * (offset + 1) + uncapped * (uncapped - 1) // 2
+    return series + (seq - uncapped) * cap
+
+
+def masked_elements_varlen(seq_lens: Sequence[int], window: int = 0) -> int:
+    """Surviving elements of a packed ragged batch (block-diagonal causal).
+
+    Each sequence attends only to itself (the ``cu_seqlens`` layout of real
+    varlen flash kernels), so the count is the per-sequence sum.
+    """
+    if not seq_lens:
+        raise ValueError("varlen needs at least one sequence length")
+    return sum(masked_elements(length, length, window) for length in seq_lens)
+
+
+def tile_trips(
+    seq: int, kv: int, block_q: int, block_kv: int, window: int = 0
+) -> List[int]:
+    """Visited-KV-tile count per Q tile of a causal fused attention kernel.
+
+    A KV tile is visited iff any of its columns is allowed for any query row
+    of the Q tile; visited tiles run at full tile cost (masking happens
+    inside the tile), skipped tiles cost nothing.  For a contiguous per-row
+    range the visited tiles of a Q tile are contiguous too: from the tile
+    holding the window's trailing edge of the *first* row through the tile
+    holding the diagonal of the *last* row.
+    """
+    _validate(seq, kv, window)
+    if block_q <= 0 or block_kv <= 0:
+        raise ValueError("tile sizes must be positive")
+    trips: List[int] = []
+    for q_start in range(0, seq, block_q):
+        q_end = min(seq, q_start + block_q)
+        first_lo, _ = allowed_keys(q_start, seq, kv, window)
+        _, last_hi = allowed_keys(q_end - 1, seq, kv, window)
+        first_tile = first_lo // block_kv
+        last_tile = (last_hi - 1) // block_kv
+        trips.append(last_tile - first_tile + 1)
+    return trips
+
+
+def tile_trips_varlen(
+    seq_lens: Sequence[int], block_q: int, block_kv: int, window: int = 0
+) -> List[int]:
+    """Per-Q-tile trip counts of a packed ragged batch.
+
+    Sequences are tiled independently (each restarts its Q and KV tiling,
+    as the kernel would via the cumulative-length table), so the profile is
+    the concatenation of the per-sequence profiles.
+    """
+    if not seq_lens:
+        raise ValueError("varlen needs at least one sequence length")
+    trips: List[int] = []
+    for length in seq_lens:
+        trips.extend(tile_trips(length, length, block_q, block_kv, window))
+    return trips
+
+
+def trip_segments(trips: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+    """Run-length-encode trip counts into ``(q_tiles, kv_trips)`` segments.
+
+    The segment count is what the steady-state compression pays for: a full
+    causal profile of any length encodes to at most ``block_kv // gcd`` + 2
+    distinct runs in practice, and a uniform (unmasked) profile to one.
+    """
+    segments: List[Tuple[int, int]] = []
+    for trip in trips:
+        if trip <= 0:
+            raise ValueError(f"trip counts must be positive, got {trip}")
+        if segments and segments[-1][1] == trip:
+            segments[-1] = (segments[-1][0] + 1, trip)
+        else:
+            segments.append((1, trip))
+    return tuple(segments)

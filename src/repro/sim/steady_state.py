@@ -26,7 +26,10 @@ compression levels are used:
   the same amount; because the scheduling recurrence is built from ``max``
   and ``+``, a uniform shift of the whole state reproduces itself exactly
   (max-plus shift invariance), so the remaining tiles can be applied in one
-  step.
+  step.  Bodies may nest freely -- a ``run_outer`` body may itself call
+  ``run_loop`` *and* ``run_outer`` (the masked flash profile runs a
+  per-head segment walk under a per-head outer loop), since both only read
+  and advance the same engine state the invariance argument covers.
 
 Busy cycles, per-kind cycles and operation counts advance by constants per
 iteration, so they extrapolate exactly alongside the state.

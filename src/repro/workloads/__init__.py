@@ -108,6 +108,7 @@ from repro.workloads.models import (
     slo_trace,
     trace_names,
     uniform_trace,
+    varlen_trace,
 )
 from repro.workloads.lowering import (
     KernelInvocation,
@@ -189,6 +190,7 @@ __all__ = [
     "slo_trace",
     "trace_names",
     "uniform_trace",
+    "varlen_trace",
     "KernelInvocation",
     "KernelSchedule",
     "LayerRunResult",

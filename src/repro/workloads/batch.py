@@ -65,7 +65,12 @@ from repro.workloads.serving import run_serving
 #: byte-identical either way, but keying the execution path keeps a
 #: hypothetical compression bug from silently serving stale exact-mode
 #: bytes (and vice versa).
-CACHE_SCHEMA_VERSION = 6
+#: 7: causal attention work became exact (per-tile trip counts replace the
+#: 0.5 ``work_scale`` discount), so every cached causal-prefill timing
+#: computed under the approximation is stale at an *unchanged* spec hash --
+#: ModelSpec's new mask fields (``window``/``seq_lens``) are omitted from
+#: ``to_dict`` when defaulted, deliberately keeping unmasked hashes stable.
+CACHE_SCHEMA_VERSION = 7
 
 
 @dataclass(frozen=True)

@@ -148,8 +148,16 @@ class AttentionLayer(Layer):
     ``heads`` is the query head count; ``kv_heads`` < ``heads`` expresses
     grouped-query attention (``kv_heads == 1`` is MQA).  ``kv_seq`` is the
     key/value sequence length; in decode phase the incoming activation has
-    ``seq == 1`` while ``kv_seq`` is the full context.  ``causal`` marks the
-    triangular mask of autoregressive prefill, which halves the score work.
+    ``seq == 1`` while ``kv_seq`` is the full context; causal prefill with
+    ``kv_seq > seq`` is chunked prefill over prior context.  ``causal``
+    marks the triangular mask of autoregressive attention; its score work
+    is counted *exactly* from the integer mask arithmetic in
+    :mod:`repro.kernels.masking` (a full triangle keeps ``(seq+1)/(2*seq)``
+    of the rectangle, a trapezoid over prior context keeps
+    ``(kv - (seq-1)/2)/kv``).  ``window`` keeps only the last ``window``
+    allowed keys per query (sliding-window attention); ``seq_lens`` packs a
+    ragged batch of causally-independent sequences into one batch-1
+    activation (varlen, block-diagonal mask).
     """
 
     heads: int = 1
@@ -157,6 +165,8 @@ class AttentionLayer(Layer):
     kv_heads: int = 0  # 0 means same as heads (vanilla MHA)
     kv_seq: int = 0  # 0 means same as the query sequence length
     causal: bool = False
+    window: int = 0  # sliding-window width; 0 = unwindowed
+    seq_lens: Tuple[int, ...] = ()  # varlen packed batch; sum == shape.seq
 
     def __post_init__(self) -> None:
         if self.heads <= 0 or self.head_dim <= 0:
@@ -166,6 +176,23 @@ class AttentionLayer(Layer):
                 f"attention layer {self.name!r}: heads ({self.heads}) must be divisible "
                 f"by kv_heads ({self.kv_heads})"
             )
+        if (self.window or self.seq_lens) and not self.causal:
+            raise ValueError(
+                f"attention layer {self.name!r}: window/seq_lens describe causal "
+                f"masks; set causal=True"
+            )
+        if self.window < 0:
+            raise ValueError(f"attention layer {self.name!r}: window must be >= 0")
+        if self.seq_lens:
+            if self.kv_seq:
+                raise ValueError(
+                    f"attention layer {self.name!r}: varlen batches carry no "
+                    f"prior context (kv_seq)"
+                )
+            if any(length <= 0 for length in self.seq_lens):
+                raise ValueError(
+                    f"attention layer {self.name!r}: seq_lens must be positive"
+                )
 
     @property
     def kind(self) -> LayerKind:
@@ -182,6 +209,21 @@ class AttentionLayer(Layer):
     def kv_length(self, shape: TensorShape) -> int:
         return self.kv_seq or shape.seq
 
+    def validate_ragged(self, shape: TensorShape) -> None:
+        """Check the varlen packing invariants against the activation shape."""
+        if not self.seq_lens:
+            return
+        if shape.batch != 1:
+            raise ValueError(
+                f"attention layer {self.name!r}: varlen packs the ragged batch "
+                f"into batch 1, got batch {shape.batch}"
+            )
+        if sum(self.seq_lens) != shape.seq:
+            raise ValueError(
+                f"attention layer {self.name!r}: seq_lens {self.seq_lens} must "
+                f"sum to the packed sequence length {shape.seq}"
+            )
+
     def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
         shape = inputs[0]
         if shape.features != self.model_dim:
@@ -189,24 +231,48 @@ class AttentionLayer(Layer):
                 f"attention layer {self.name!r} expects {self.model_dim} features "
                 f"(= heads x head_dim), got {shape.features}"
             )
+        self.validate_ragged(shape)
         return shape
 
-    def causal_work_fraction(self, shape: TensorShape) -> float:
-        """Fraction of score work surviving the mask: 0.5 for a full
-        triangular mask, 1.0 otherwise (including single-query decode).
+    def masked_score_elements(self, shape: TensorShape) -> int:
+        """Score elements surviving the mask, across heads and batch.
 
-        Single source of truth for both :meth:`score_macs` and the lowering
-        pass's work scaling, so reported MAC utilization stays consistent.
+        Exact integer mask counts from :mod:`repro.kernels.masking` -- the
+        single source of truth for :meth:`score_macs`,
+        :meth:`causal_work_fraction` and the lowering pass, so reported MAC
+        utilization always matches the mask-count oracle.
         """
-        if self.causal and shape.seq > 1 and self.kv_length(shape) == shape.seq:
-            return 0.5
-        return 1.0
+        from repro.kernels.masking import masked_elements, masked_elements_varlen
+
+        kv = self.kv_length(shape)
+        if not self.causal:
+            per_head = shape.seq * kv
+        elif self.seq_lens:
+            self.validate_ragged(shape)
+            per_head = masked_elements_varlen(self.seq_lens, self.window)
+        else:
+            per_head = masked_elements(shape.seq, kv, self.window)
+        return shape.batch * self.heads * per_head
+
+    def causal_work_fraction(self, shape: TensorShape) -> float:
+        """Fraction of score work surviving the mask -- exact, not 0.5.
+
+        A full triangle keeps ``(seq+1)/(2*seq)`` of the rectangle; causal
+        prefill over prior context keeps the trapezoid
+        ``(kv - (seq-1)/2)/kv`` (this used to return a silent 1.0);
+        single-query decode keeps everything unless a window caps it.
+        """
+        kv = self.kv_length(shape)
+        total = shape.batch * self.heads * shape.seq * kv
+        return self.masked_score_elements(shape) / total
 
     def score_macs(self, shape: TensorShape) -> int:
-        """MACs of the two score GEMMs (QK^T and PV) across heads and batch."""
-        kv = self.kv_length(shape)
-        macs = 2 * shape.batch * self.heads * shape.seq * kv * self.head_dim
-        return int(macs * self.causal_work_fraction(shape))
+        """MACs of the two score GEMMs (QK^T and PV) across heads and batch.
+
+        Accumulated in integer mask-element counts -- never a floored
+        ``int(macs * fraction)`` float product.
+        """
+        return 2 * self.masked_score_elements(shape) * self.head_dim
 
 
 @dataclass(frozen=True)

@@ -35,9 +35,14 @@ exactly where the resource model allows) and aggregates cycles, MAC
 utilization and energy per layer, per phase and for the whole model into a
 :class:`ModelRunResult`.
 
-Causal masks are modelled by scaling score-proportional work by the masked
-fraction (0.5 for a full triangular mask) rather than re-tiling the kernels;
-this matches the coarse-grained fidelity of the rest of the timing stack.
+Causal masks are modelled *exactly*: fused flash kernels carry the mask
+fields (``causal``/``kv_len``/``window``/``seq_lens``) into
+:class:`FlashAttentionWorkload`, whose tile loop visits only the KV tiles
+the mask leaves non-empty, and the decomposed path sizes its SIMT softmax
+by the integer mask-element count and reports the exact surviving MACs
+(``reported_macs``) for utilization accounting.  No ``work_scale`` discount
+exists anywhere in the attention path -- ``tools/check_attention_lint.py``
+enforces that it stays gone.
 """
 
 from __future__ import annotations
@@ -93,8 +98,10 @@ class KernelInvocation:
 
     ``workload`` is a :class:`GemmWorkload`, :class:`FlashAttentionWorkload`
     or ``None`` for SIMT kernels (which carry ``elements``/``flops_per_element``
-    instead).  ``work_scale`` discounts cycles and activity for masked work
-    (causal attention) without changing the kernel's tiling.
+    instead).  ``reported_macs`` overrides the workload's own MAC count for
+    utilization/throughput reporting -- the decomposed attention path runs
+    full-rectangle score GEMMs (a generic GEMM cannot skip masked tiles)
+    but reports only the surviving mask elements as useful work.
     """
 
     name: str
@@ -106,7 +113,7 @@ class KernelInvocation:
     workload: Union[GemmWorkload, FlashAttentionWorkload, None] = None
     elements: int = 0
     flops_per_element: float = 0.0
-    work_scale: float = 1.0
+    reported_macs: Optional[int] = None
 
 
 @dataclass
@@ -184,15 +191,22 @@ def _lower_attention(
 ) -> List[KernelInvocation]:
     shape = graph.input_shape_of(layer)
     kv_len = layer.kv_length(shape)
-    scale = layer.causal_work_fraction(shape)
+    masked_elements = layer.masked_score_elements(shape)
     base = dict(layer=layer.name, phase=layer.phase or "default")
 
-    fused_shape = shape.seq > 1 and kv_len == shape.seq
+    # The fused kernel tiles any multi-query shape whose context is at least
+    # as long as the chunk -- including causal prefill over prior KV context
+    # (chunked prefill) and packed varlen batches.
+    fused_shape = shape.seq > 1 and kv_len >= shape.seq
     if fused_shape and _supports_fused_attention(design):
         workload = FlashAttentionWorkload(
             seq_len=shape.seq,
             head_dim=layer.head_dim,
             heads=shape.batch * layer.heads,
+            causal=layer.causal,
+            kv_len=0 if kv_len == shape.seq else kv_len,
+            window=layer.window,
+            seq_lens=layer.seq_lens,
         )
         return [
             KernelInvocation(
@@ -201,21 +215,26 @@ def _lower_attention(
                 resource=MATRIX_RESOURCE,
                 deps=deps,
                 workload=workload,
-                work_scale=scale,
                 **base,
             )
         ]
 
     # Decomposed path: QK^T scores, SIMT softmax, PV output -- batched over
-    # (batch x query heads) by folding them into the GEMM M dimension.
+    # (batch x query heads) by folding them into the GEMM M dimension.  The
+    # GEMMs run the full rectangle (a generic GEMM cannot skip masked
+    # tiles) except that a sliding window shrinks the decode context to the
+    # ``window`` live keys; the exact surviving MACs are attached as
+    # ``reported_macs`` so utilization reflects the mask, and the softmax
+    # sweeps only the surviving mask elements.
+    kv_cols = min(kv_len, layer.window) if (shape.seq == 1 and layer.window) else kv_len
     rows = shape.batch * layer.heads * shape.seq
     scores = KernelInvocation(
         name=f"{layer.name}.scores",
         kind="gemm",
         resource=MATRIX_RESOURCE,
         deps=deps,
-        workload=GemmWorkload(m=rows, n=kv_len, k=layer.head_dim, dtype=dtype),
-        work_scale=scale,
+        workload=GemmWorkload(m=rows, n=kv_cols, k=layer.head_dim, dtype=dtype),
+        reported_macs=masked_elements * layer.head_dim,
         **base,
     )
     softmax = KernelInvocation(
@@ -223,9 +242,8 @@ def _lower_attention(
         kind="simt",
         resource=SIMT_RESOURCE,
         deps=(scores.name,),
-        elements=rows * kv_len,
+        elements=masked_elements,
         flops_per_element=SOFTMAX_FLOPS_PER_ELEMENT,
-        work_scale=scale,
         **base,
     )
     output = KernelInvocation(
@@ -233,8 +251,8 @@ def _lower_attention(
         kind="gemm",
         resource=MATRIX_RESOURCE,
         deps=(softmax.name,),
-        workload=GemmWorkload(m=rows, n=layer.head_dim, k=kv_len, dtype=dtype),
-        work_scale=scale,
+        workload=GemmWorkload(m=rows, n=layer.head_dim, k=kv_cols, dtype=dtype),
+        reported_macs=masked_elements * layer.head_dim,
         **base,
     )
     return [scores, softmax, output]
@@ -720,7 +738,10 @@ def execute_schedule(schedule: KernelSchedule, duration_scale: float = 1.0) -> M
                 run = run_gemm(target, inv.workload, inv.workload.dtype)
                 cycles, counters = run.total_cycles, run.counters
                 kernel_util[inv.name] = run.kernel.mac_utilization
-                kernel_macs[inv.name] = inv.workload.macs
+                kernel_macs[inv.name] = (
+                    inv.reported_macs if inv.reported_macs is not None
+                    else inv.workload.macs
+                )
                 if recorder is not None:
                     kernel_stats[inv.name] = run.kernel.schedule_stats
             elif inv.kind == "flash":
@@ -734,10 +755,8 @@ def execute_schedule(schedule: KernelSchedule, duration_scale: float = 1.0) -> M
                 cycles, counters = _simt_cost(design, inv.elements, inv.flops_per_element)
                 kernel_util[inv.name] = 0.0
                 kernel_macs[inv.name] = 0
-            durations[inv.name] = _scaled_cycles(cycles, inv.work_scale * duration_scale)
-            kernel_counters[inv.name] = (
-                counters.scaled(inv.work_scale) if inv.work_scale != 1.0 else counters
-            )
+            durations[inv.name] = _scaled_cycles(cycles, duration_scale)
+            kernel_counters[inv.name] = counters
     cache_stats = {
         "hits": cache.hits - hits_before,
         "misses": cache.misses - misses_before,

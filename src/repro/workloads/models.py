@@ -72,12 +72,15 @@ class ModelSpec:
     kv_heads: int = 0  # 0 = same as heads; 1 = MQA; in between = GQA
     ffn_mult: int = 4
     phase: str = "prefill"
-    context_len: int = 0  # decode-phase KV length; 0 = seq_len
+    context_len: int = 0  # decode KV length (0 = seq_len); prefill: prior context
     # Mixture-of-experts hyperparameters (family "moe"; ignored elsewhere).
     experts: int = 0  # 0 = dense FFN
     top_k: int = 2
     capacity_factor: float = 1.0
     shared_experts: int = 0  # DeepSeek-style always-on dense experts
+    # Attention mask variants (GPT/MoE families).
+    window: int = 0  # sliding-window attention width; 0 = unwindowed
+    seq_lens: Tuple[int, ...] = ()  # ragged prefill batch packed varlen
 
     def __post_init__(self) -> None:
         if self.hidden % self.heads != 0:
@@ -92,6 +95,25 @@ class ModelSpec:
             raise ValueError(
                 f"top_k ({self.top_k}) must be in 1..experts ({self.experts})"
             )
+        if self.window < 0:
+            raise ValueError(f"window ({self.window}) must be >= 0")
+        if self.phase == "prefill" and self.context_len:
+            if self.context_len < self.seq_len:
+                raise ValueError(
+                    f"prefill over prior context needs context_len "
+                    f"({self.context_len}) >= seq_len ({self.seq_len})"
+                )
+        if self.seq_lens:
+            if self.phase != "prefill":
+                raise ValueError("seq_lens describes a ragged prefill batch")
+            if self.batch != 1:
+                raise ValueError("varlen packs the ragged batch; use batch=1")
+            if self.context_len:
+                raise ValueError("varlen batches carry no prior context")
+            if sum(self.seq_lens) != self.seq_len:
+                raise ValueError(
+                    f"seq_lens {self.seq_lens} must sum to seq_len {self.seq_len}"
+                )
 
     def __hash__(self) -> int:
         """The generated field-tuple hash, computed once and pinned.
@@ -118,6 +140,8 @@ class ModelSpec:
                     self.top_k,
                     self.capacity_factor,
                     self.shared_experts,
+                    self.window,
+                    self.seq_lens,
                 )
             )
             object.__setattr__(self, "_spec_hash", cached)
@@ -141,7 +165,17 @@ class ModelSpec:
         return (self.heads + 2 * self.effective_kv_heads) * self.head_dim
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        # The mask fields are emitted only when set: every pre-existing spec
+        # encodes byte-identically, so unmasked goldens and content-hashed
+        # cache keys stay stable (same pattern as ``RequestSpec.slo``).
+        encoded = asdict(self)
+        if not self.window:
+            del encoded["window"]
+        if not self.seq_lens:
+            del encoded["seq_lens"]
+        else:
+            encoded["seq_lens"] = list(self.seq_lens)
+        return encoded
 
 
 def _transformer_block(
@@ -197,6 +231,8 @@ def _transformer_block(
             kv_heads=spec.kv_heads,
             kv_seq=kv_seq,
             causal=causal,
+            window=spec.window if causal else 0,
+            seq_lens=spec.seq_lens if causal else (),
             query_features=spec.qkv_features,
         )
     )
@@ -297,21 +333,40 @@ class _AttentionOnQuerySlice(AttentionLayer):
                 f"attention layer {self.name!r} expects the fused QKV width "
                 f"{self.query_features}, got {shape.features}"
             )
+        self.validate_ragged(shape)
         return shape.with_features(self.model_dim)
+
+
+def _decoder_shape(spec: ModelSpec) -> Tuple[TensorShape, int]:
+    """Activation shape and attention KV length for a GPT/MoE decoder spec.
+
+    Decode: single-token queries over the ``context_len`` KV cache.
+    Prefill: full-sequence causal attention; ``context_len`` (if set) adds
+    prior KV context (chunked prefill), and ``seq_lens`` packs a ragged
+    batch varlen (batch 1, sequences concatenated).
+    """
+    if spec.phase == "decode":
+        kv_seq = spec.context_len or spec.seq_len
+        return TensorShape(batch=spec.batch, seq=1, features=spec.hidden), kv_seq
+    kv_seq = spec.context_len or 0
+    return (
+        TensorShape(batch=spec.batch, seq=spec.seq_len, features=spec.hidden),
+        kv_seq,
+    )
 
 
 def gpt_decoder(spec: ModelSpec) -> LayerGraph:
     """GPT-style stack of pre-norm decoder blocks.
 
-    ``spec.phase == "prefill"`` builds causal full-sequence attention;
-    ``spec.phase == "decode"`` builds single-token queries (seq 1) attending
-    over ``context_len`` cached KV entries -- the kernel mix that dominates
-    serving, where every GEMM degenerates to a skinny matrix-vector shape.
+    ``spec.phase == "prefill"`` builds causal full-sequence attention --
+    over prior KV context when ``context_len`` is set (chunked prefill),
+    sliding-window when ``window`` is set, varlen-packed when ``seq_lens``
+    describes a ragged batch; ``spec.phase == "decode"`` builds single-token
+    queries (seq 1) attending over ``context_len`` cached KV entries -- the
+    kernel mix that dominates serving, where every GEMM degenerates to a
+    skinny matrix-vector shape.
     """
-    decode = spec.phase == "decode"
-    seq = 1 if decode else spec.seq_len
-    kv_seq = (spec.context_len or spec.seq_len) if decode else 0
-    shape = TensorShape(batch=spec.batch, seq=seq, features=spec.hidden)
+    shape, kv_seq = _decoder_shape(spec)
     graph = LayerGraph(f"gpt-{spec.phase}", shape)
     previous = ""
     for index in range(spec.blocks):
@@ -321,7 +376,9 @@ def gpt_decoder(spec: ModelSpec) -> LayerGraph:
             index,
             previous,
             phase=spec.phase,
-            causal=not decode,
+            # Decode is causal attention too: the single query's mask row is
+            # trivially full, but a sliding window still prunes old keys.
+            causal=True,
             kv_seq=kv_seq,
         )
     graph.add(NormLayer(name="final_ln", deps=(previous,), phase=spec.phase))
@@ -338,10 +395,7 @@ def moe_decoder(spec: ModelSpec) -> LayerGraph:
     ``batch * top_k >= experts`` so every expert is active and the emitted
     kernel graph is as wide as the expert count.
     """
-    decode = spec.phase == "decode"
-    seq = 1 if decode else spec.seq_len
-    kv_seq = (spec.context_len or spec.seq_len) if decode else 0
-    shape = TensorShape(batch=spec.batch, seq=seq, features=spec.hidden)
+    shape, kv_seq = _decoder_shape(spec)
     graph = LayerGraph(f"moe-{spec.phase}", shape)
     previous = ""
     for index in range(spec.blocks):
@@ -351,7 +405,7 @@ def moe_decoder(spec: ModelSpec) -> LayerGraph:
             index,
             previous,
             phase=spec.phase,
-            causal=not decode,
+            causal=True,  # decode included -- see gpt_decoder
             kv_seq=kv_seq,
             moe=True,
         )
@@ -424,6 +478,16 @@ MODEL_ZOO: Dict[str, ModelSpec] = {
                             blocks=2, heads=8, context_len=1024),
     "gpt-gqa-prefill": ModelSpec(family="gpt", phase="prefill", seq_len=256, hidden=512,
                                  blocks=2, heads=8, kv_heads=2),
+    # Masked-attention variants (exact per-tile accounting, no 0.5 scaling):
+    # chunked prefill over prior KV context, sliding-window attention, and a
+    # ragged batch packed varlen (no bucket padding waste).
+    "gpt-prefill-history": ModelSpec(family="gpt", phase="prefill", seq_len=128,
+                                     hidden=512, blocks=2, heads=8, context_len=384),
+    "gpt-prefill-sw": ModelSpec(family="gpt", phase="prefill", seq_len=256, hidden=512,
+                                blocks=2, heads=8, window=64),
+    "gpt-prefill-varlen": ModelSpec(family="gpt", phase="prefill", seq_len=320,
+                                    hidden=512, blocks=2, heads=8,
+                                    seq_lens=(96, 160, 64)),
     "bert-base-ish": ModelSpec(family="bert", phase="encode", seq_len=128, hidden=768,
                                blocks=2, heads=12),
     "mlp-chain": ModelSpec(family="mlp", phase="forward", seq_len=64, hidden=1024,
@@ -686,6 +750,26 @@ TRACE_ZOO: Dict[str, ServingTrace] = {
 # and the goodput metric.  Defined after the base entries so they reuse them.
 TRACE_ZOO["bursty-slo"] = slo_trace("bursty-slo", TRACE_ZOO["bursty-gpt"])
 TRACE_ZOO["poisson-slo"] = slo_trace("poisson-slo", TRACE_ZOO["poisson-mixed"])
+
+
+def varlen_trace(name: str, base: Union[str, ServingTrace]) -> ServingTrace:
+    """A copy of ``base`` served at exact per-request KV lengths.
+
+    ``context_bucket=1`` disables KV bucket padding: every decode step
+    attends over the request's true context length instead of the next
+    64-wide bucket boundary -- the ragged-batch serving counterpart of the
+    varlen prefill packing, now that masked attention work is counted
+    exactly per length.
+    """
+    if isinstance(base, str):
+        base = resolve_trace(base)
+    return replace(base, name=name, context_bucket=1)
+
+
+# Varlen variants: the same arrival streams without bucket padding, so the
+# latency percentiles reflect exact ragged context lengths.
+TRACE_ZOO["poisson-varlen"] = varlen_trace("poisson-varlen", TRACE_ZOO["poisson-mixed"])
+TRACE_ZOO["bursty-varlen"] = varlen_trace("bursty-varlen", TRACE_ZOO["bursty-gpt"])
 
 
 def trace_names() -> List[str]:

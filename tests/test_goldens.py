@@ -71,6 +71,29 @@ def test_model_run_result_golden(golden):
     golden("model_gpt_decode_tiny", run_model(GPT_TINY, DesignKind.VIRGO).to_dict())
 
 
+#: Masked-attention variants (PR 9): chunked prefill over prior context,
+#: sliding-window, and ragged varlen packing.  Tiny mirrors of the zoo's
+#: ``gpt-prefill-history`` / ``gpt-prefill-sw`` / ``gpt-prefill-varlen``.
+HISTORY_TINY = ModelSpec(family="gpt", phase="prefill", batch=1, seq_len=32,
+                         hidden=128, blocks=1, heads=4, context_len=96)
+SW_TINY = ModelSpec(family="gpt", phase="prefill", batch=1, seq_len=64,
+                    hidden=128, blocks=1, heads=4, window=16)
+VARLEN_TINY = ModelSpec(family="gpt", phase="prefill", batch=1, seq_len=80,
+                        hidden=128, blocks=1, heads=4, seq_lens=(24, 40, 16))
+
+
+def test_model_masked_history_golden(golden):
+    golden("model_gpt_history_tiny", run_model(HISTORY_TINY, DesignKind.VIRGO).to_dict())
+
+
+def test_model_masked_window_golden(golden):
+    golden("model_gpt_sw_tiny", run_model(SW_TINY, DesignKind.VIRGO).to_dict())
+
+
+def test_model_masked_varlen_golden(golden):
+    golden("model_gpt_varlen_tiny", run_model(VARLEN_TINY, DesignKind.VIRGO).to_dict())
+
+
 def test_model_overlap_report_golden(golden):
     result = run_model(MOE_TINY, DesignKind.VIRGO, heterogeneous=True)
     golden("overlap_moe_decode_tiny_hetero", model_overlap_report(result))

@@ -22,6 +22,7 @@ from repro.workloads import (
     run_model,
     scaled_spec,
 )
+from repro.workloads.models import MODEL_ZOO
 from repro.workloads.lowering import (
     MATRIX_RESOURCE,
     SIMT_RESOURCE,
@@ -62,11 +63,16 @@ class TestLayerGraphIR:
         with pytest.raises(ValueError, match="divisible"):
             AttentionLayer(name="bad", heads=3, head_dim=32, kv_heads=2)
 
-    def test_causal_halves_score_macs(self):
+    def test_causal_score_macs_exact_triangle(self):
+        # A full causal mask keeps (seq+1)/(2*seq) of the rectangle -- the
+        # exact triangle count seq*(seq+1)/2 per head, not the old 0.5.
         shape = TensorShape(batch=1, seq=64, features=128)
         full = AttentionLayer(name="full", heads=2, head_dim=64, causal=False)
         masked = AttentionLayer(name="masked", heads=2, head_dim=64, causal=True)
-        assert masked.score_macs(shape) == full.score_macs(shape) // 2
+        triangle = 64 * 65 // 2
+        assert masked.score_macs(shape) == 2 * 2 * triangle * 64
+        assert masked.score_macs(shape) * (2 * 64) == full.score_macs(shape) * 65
+        assert masked.causal_work_fraction(shape) == 65 / 128
 
     def test_elementwise_mismatched_inputs_rejected(self):
         graph = LayerGraph("ew", TensorShape(batch=1, seq=4, features=8))
@@ -147,10 +153,21 @@ class TestLowering:
         kinds = {inv.kind for inv in schedule.invocations}
         assert "flash" not in kinds
 
-    def test_causal_work_scale_applied(self):
+    def test_causal_mask_reaches_fused_workload(self):
+        # No work_scale discount anywhere: the mask rides the flash workload
+        # itself and its iteration count is the exact visited-tile total.
         schedule = lower_graph(build_model("gpt-prefill"), DesignKind.VIRGO)
         flash = next(inv for inv in schedule.invocations if inv.kind == "flash")
-        assert flash.work_scale == 0.5
+        assert not hasattr(flash, "work_scale")
+        assert flash.workload.causal
+        spec = MODEL_ZOO["gpt-prefill"]
+        triangle = spec.seq_len * (spec.seq_len + 1) // 2
+        assert flash.workload.gemm_macs == (
+            2 * spec.heads * triangle * spec.head_dim
+        )
+        assert flash.workload.iterations < (
+            spec.heads * (spec.seq_len // 64) ** 2
+        )
 
     def test_zero_cost_layers_lower_to_nothing(self):
         schedule = lower_graph(build_model("gpt-prefill"), DesignKind.VIRGO)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Grep-lint: the attention path must stay exact.
+
+PR 9 removed the ``work_scale`` 0.5 causal approximation in favour of
+integer mask-count accounting (``repro.kernels.masking``).  This lint
+keeps it removed: it fails if ``work_scale`` reappears anywhere in the
+attention path, or if a bare ``0.5`` literal shows up in the attention
+regions of the lowering/graph/flash modules (where it historically meant
+"approximate the causal triangle").
+
+No third-party deps; runs standalone in the docs CI job:
+
+    python tools/check_attention_lint.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+# Files forming the attention work-accounting path.
+ATTENTION_PATH = [
+    "src/repro/workloads/lowering.py",
+    "src/repro/workloads/graph.py",
+    "src/repro/kernels/flash_attention.py",
+    "src/repro/kernels/masking.py",
+]
+
+FORBIDDEN = [
+    # (pattern, explanation)
+    (
+        re.compile(r"\bwork_scale\b"),
+        "work_scale is banned: report exact mask counts via reported_macs "
+        "and FlashAttentionWorkload mask fields instead",
+    ),
+    (
+        re.compile(r"(?<![\w.])0\.5\b"),
+        "bare 0.5 literal in the attention path: causal work must come from "
+        "repro.kernels.masking closed forms, never an approximation",
+    ),
+]
+
+
+TRIPLE = re.compile(r'"""|\'\'\'')
+
+
+def lint_file(path: Path) -> list:
+    failures = []
+    in_string = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        # Docstrings and comments may mention the banned names when telling
+        # the history; only executable code is linted.  A line-based triple-
+        # quote tracker is enough for this repo's style (no nested quoting).
+        code = line
+        quotes = len(TRIPLE.findall(line))
+        if in_string:
+            code = ""
+            if quotes % 2 == 1:
+                in_string = False
+        elif quotes % 2 == 1:
+            code = line.split('"""', 1)[0].split("'''", 1)[0]
+            in_string = True
+        elif quotes:
+            code = ""  # one-line docstring
+        code = code.split("#", 1)[0]
+        for pattern, why in FORBIDDEN:
+            if pattern.search(code):
+                failures.append((path, lineno, line.strip(), why))
+    return failures
+
+
+def main() -> int:
+    failures = []
+    missing = []
+    for rel in ATTENTION_PATH:
+        path = REPO / rel
+        if not path.is_file():
+            missing.append(rel)
+            continue
+        failures.extend(lint_file(path))
+
+    for rel in missing:
+        print(f"check_attention_lint: missing expected file {rel}")
+    for path, lineno, line, why in failures:
+        print(f"{path.relative_to(REPO)}:{lineno}: {line}")
+        print(f"    -> {why}")
+
+    if failures or missing:
+        print(f"check_attention_lint: FAILED ({len(failures)} finding(s))")
+        return 1
+    print(f"check_attention_lint: OK ({len(ATTENTION_PATH)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
