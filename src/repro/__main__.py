@@ -48,6 +48,13 @@ from repro.analysis.model_breakdown import (
     model_layer_rows,
     model_phase_summary,
 )
+from repro.analysis.fleet import (
+    FLEET_REQUEST_HEADERS,
+    fleet_perf_stats,
+    fleet_report,
+    fleet_request_rows,
+    format_fleet_report,
+)
 from repro.analysis.serving import (
     REQUEST_HEADERS,
     format_latency_report,
@@ -67,10 +74,15 @@ from repro.kernels.heterogeneous import heterogeneous_summary, simulate_heteroge
 from repro.perf import persistent_timing_cache, timing_cache
 from repro.runner import run_flash_attention, run_gemm
 from repro.workloads import (
+    ROUTER_POLICIES,
+    RouterConfig,
+    fleet_names,
     model_names,
+    resolve_fleet,
     resolve_spec,
     resolve_trace,
     run_batch,
+    run_fleet,
     run_model,
     run_serving,
     sweep_jobs,
@@ -413,6 +425,81 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     _report_observability(args, result, recorder, profiler)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    if args.list:
+        print("traces:")
+        for name in trace_names():
+            trace = resolve_trace(name)
+            print(f"  {name:<16} requests={len(trace)}")
+        print("fleets:")
+        for name in fleet_names():
+            print(f"  {name:<16} {' + '.join(resolve_fleet(name))}")
+        print("policies:")
+        for name in sorted(ROUTER_POLICIES):
+            print(f"  {name}")
+        return
+
+    fleet = int(args.fleet) if args.fleet.isdigit() else args.fleet
+    config = RouterConfig(
+        failover=not args.no_failover,
+        max_retries=args.max_retries,
+        seed=args.router_seed,
+    )
+
+    def runner():
+        with _maybe_persistent_cache(args.cache_dir):
+            return run_fleet(
+                args.trace, fleet, heterogeneous=args.hetero,
+                policy=args.policy, config=config,
+                faults=args.inject, fault_seed=args.fault_seed,
+                iteration_memo=not args.no_iteration_memo,
+                epoch_extrapolation=args.epoch_compression,
+            )
+
+    try:
+        result, recorder, profiler = _observed_run(args, f"fleet:{args.trace}", runner)
+    except (KeyError, ValueError) as error:
+        # Unknown trace/fleet/policy name or an invalid fault plan; the
+        # messages already name the valid choices or the offending token.
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(message) from error
+
+    if args.json:
+        report = result.to_dict()
+        report["latency_report"] = fleet_report(result)
+        # Run-local perf diagnostics ride outside to_dict(): the canonical
+        # encoding (and the result caches pinning it) must stay byte-stable
+        # across cache and memo states.
+        report["perf"] = fleet_perf_stats(result)
+        print(json.dumps(report, indent=2))
+        _report_observability(args, result, recorder, profiler)
+        return
+
+    print(
+        f"{result.trace} across {len(result.replicas)} replicas "
+        f"({', '.join(result.fleet)}) under {result.policy}"
+        + (" (heterogeneous dual unit)" if result.heterogeneous else "")
+        + f": {len(result.requests)} requests\n"
+    )
+    print(format_table(FLEET_REQUEST_HEADERS, fleet_request_rows(result)))
+    print()
+    if args.latency_report:
+        print(format_fleet_report(result))
+    else:
+        dispositions = "  ".join(
+            f"{name} {count}" for name, count in result.dispositions.items()
+        )
+        print(
+            f"goodput {result.goodput:.3f}  availability {result.availability:.3f}  "
+            f"({dispositions})\n"
+            f"makespan {result.total_cycles:,} cycles; "
+            f"{result.dispatch_count} dispatches "
+            f"({result.failed_dispatches} failed), "
+            f"{result.retry_count} retries, {result.failover_count} failovers"
+        )
+    _report_observability(args, result, recorder, profiler)
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> None:
     try:
         trace = load_trace(args.input)
@@ -563,6 +650,76 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the metrics-registry snapshot (including "
                             "diagnostics) and a wall-clock phase profile")
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="route a serving trace across a replica fleet under chaos",
+        description=(
+            "Run a request stream through a router in front of N serving "
+            "replicas: health checks with timeouts, retries with capped "
+            "exponential backoff, failover of in-flight work (the crashed "
+            "replica's KV is lost, so failed-over requests pay an explicit "
+            "re-prefill), draining on recovery and load shedding when no "
+            "believed-healthy capacity remains.  --inject applies a seeded "
+            "replica-level fault plan (crash / slow / partition); the same "
+            "seed reproduces the run byte-identically."
+        ),
+    )
+    fleet.add_argument("--trace", default="bursty-gpt",
+                       help="serving-trace zoo entry (see --list)")
+    fleet.add_argument("--fleet", default="duo-virgo",
+                       help="fleet zoo entry (see --list) or a replica count "
+                            "(N identical virgos)")
+    fleet.add_argument("--policy", default="round-robin",
+                       help="router policy: " + " | ".join(sorted(ROUTER_POLICIES)))
+    fleet.add_argument("--hetero", action="store_true",
+                       help="every replica uses the dual-matrix-unit configuration")
+    fleet.add_argument("--latency-report", action="store_true",
+                       help="print fleet p50/p95/p99 latency, goodput, "
+                            "availability and per-replica occupancy")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the full JSON fleet report")
+    fleet.add_argument("--list", action="store_true",
+                       help="list traces, fleet presets and router policies; exit")
+    fleet.add_argument("--cache-dir", default=None,
+                       help="persist the kernel-timing cache here so repeat "
+                            "invocations start warm")
+    fleet.add_argument("--no-iteration-memo", action="store_true",
+                       help="merge and schedule every iteration afresh on "
+                            "every replica (disables the iteration-level memo)")
+    fleet.add_argument("--epoch-compression", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="extrapolate invariant batch compositions in "
+                            "closed form between fleet events (results are "
+                            "byte-identical either way)")
+    fleet.add_argument("--inject", default=None, metavar="SPEC",
+                       help="replica fault plan, comma-separated tokens: "
+                            "fleet-wide 'crash:RATE:DOWN_CYCLES', "
+                            "'slow:RATE:SCALE:CYCLES', "
+                            "'partition:RATE:CYCLES', or targeted "
+                            "'crash@R:AT:DOWN_CYCLES', 'slow@R:AT:SCALE:CYCLES', "
+                            "'partition@R:AT:CYCLES'")
+    fleet.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the --inject fault plan (same seed => "
+                            "byte-identical run)")
+    fleet.add_argument("--no-failover", action="store_true",
+                       help="do not fail over in-flight work from a crashed "
+                            "replica; its requests are lost (disposition "
+                            "'failed')")
+    fleet.add_argument("--max-retries", type=int, default=4,
+                       help="dispatch retry budget per request before it "
+                            "times out")
+    fleet.add_argument("--router-seed", type=int, default=0,
+                       help="seed for the router's jittered backoff and "
+                            "power-of-two sampling")
+    fleet.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the fleet schedule (router decisions plus "
+                            "one track per replica) as Chrome trace-event "
+                            "JSON (open in ui.perfetto.dev)")
+    fleet.add_argument("--metrics", action="store_true",
+                       help="print the metrics-registry snapshot (including "
+                            "diagnostics) and a wall-clock phase profile")
+    fleet.set_defaults(func=_cmd_fleet)
 
     trace_report = sub.add_parser(
         "trace-report",

@@ -37,6 +37,12 @@ from repro.analysis.model_breakdown import (
     model_overlap_report,
     model_phase_summary,
 )
+from repro.analysis.fleet import (
+    fleet_perf_stats,
+    fleet_report,
+    fleet_request_rows,
+    format_fleet_report,
+)
 from repro.analysis.serving import (
     format_latency_report,
     latency_summary,
@@ -59,6 +65,10 @@ __all__ = [
     "model_kind_cycles",
     "model_layer_rows",
     "model_phase_summary",
+    "fleet_perf_stats",
+    "fleet_report",
+    "fleet_request_rows",
+    "format_fleet_report",
     "format_latency_report",
     "latency_summary",
     "percentile",

@@ -63,11 +63,15 @@ def percentile(values: Sequence[float], p: float) -> float:
 def latency_summary(values: Sequence[float]) -> Dict[str, float]:
     """p50/p95/p99 plus mean and max of one metric across requests.
 
-    An empty sample (every request shed under a control-plane policy, so no
-    finished request carries the metric) reports all-zero -- the report must
-    stay serializable even when a run degrades to zero completions.
+    An empty sample (every request shed under a control-plane policy or a
+    degraded fleet, so no finished request carries the metric) reports
+    all-zero -- the report must stay serializable even when a run degrades
+    to zero completions.  The emptiness test is an explicit length check:
+    ``if not values`` raises on the numpy arrays bulk request paths hand in
+    (ambiguous truth value), which is exactly the all-shed traceback this
+    guard exists to prevent.
     """
-    if not values:
+    if len(values) == 0:
         return {**{f"p{p}": 0.0 for p in PERCENTILES}, "mean": 0.0, "max": 0.0}
     # One numpy sort serves every percentile: the old per-percentile
     # ``percentile(values, p)`` calls re-sorted (and, fed a numpy array,
@@ -209,6 +213,15 @@ def format_latency_report(result: ServingRunResult) -> str:
         line("queueing", report["queueing_cycles"]),
         f"unit occupancy (serving span): {occupancy}",
     ]
+    # Total degradation (every request shed / timed out) leaves the latency
+    # and TTFT summaries empty; say so instead of letting the all-zero
+    # percentiles read as a suspiciously fast run.
+    if report["requests"] and not any(request.finished for request in result.requests):
+        lines.insert(
+            1,
+            "no request finished (all shed or timed out): latency and ttft "
+            "percentiles are empty, zeros below are placeholders",
+        )
     if result.control_active:
         dispositions = "  ".join(
             f"{name} {count}" for name, count in report["dispositions"].items()

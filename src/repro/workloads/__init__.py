@@ -88,7 +88,20 @@ from repro.workloads.graph import (
     build_request_stream,
     build_stream_trace,
 )
+from repro.workloads.fleet import (
+    FLEET_DISPOSITIONS,
+    ROUTER_POLICIES,
+    FleetRequestResult,
+    FleetRunResult,
+    ReplicaReport,
+    RouterConfig,
+    backoff_cycles,
+    resolve_fleet_designs,
+    resolve_router_policy,
+    run_fleet,
+)
 from repro.workloads.models import (
+    FLEET_ZOO,
     MODEL_ZOO,
     REQUEST_MODELS,
     TRACE_ZOO,
@@ -96,9 +109,11 @@ from repro.workloads.models import (
     bert_encoder,
     build_model,
     bursty_trace,
+    fleet_names,
     gemm_chain,
     gpt_decoder,
     model_names,
+    resolve_fleet,
     moe_decoder,
     poisson_stream_trace,
     poisson_trace,
@@ -131,8 +146,10 @@ from repro.workloads.batch import (
     BatchJob,
     BatchOutcome,
     BatchReport,
+    FleetJob,
     ResultCache,
     ServingJob,
+    fleet_sweep_jobs,
     moe_sweep_jobs,
     run_batch,
     serving_sweep_jobs,
@@ -171,6 +188,17 @@ __all__ = [
     "TensorShape",
     "build_request_stream",
     "build_stream_trace",
+    "FLEET_DISPOSITIONS",
+    "ROUTER_POLICIES",
+    "FleetRequestResult",
+    "FleetRunResult",
+    "ReplicaReport",
+    "RouterConfig",
+    "backoff_cycles",
+    "resolve_fleet_designs",
+    "resolve_router_policy",
+    "run_fleet",
+    "FLEET_ZOO",
     "MODEL_ZOO",
     "REQUEST_MODELS",
     "TRACE_ZOO",
@@ -207,9 +235,13 @@ __all__ = [
     "BatchJob",
     "BatchOutcome",
     "BatchReport",
+    "FleetJob",
     "ResultCache",
     "ServingJob",
+    "fleet_names",
+    "fleet_sweep_jobs",
     "moe_sweep_jobs",
+    "resolve_fleet",
     "run_batch",
     "serving_sweep_jobs",
     "sweep_jobs",

@@ -46,7 +46,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro import __version__
 from repro.config.soc import DataType
+from repro.faults import FleetFaultPlan
 from repro.perf import persistent_timing_cache, timing_cache
+from repro.workloads.fleet import (
+    RouterConfig,
+    resolve_fleet_designs,
+    resolve_router_policy,
+    run_fleet,
+)
 from repro.workloads.graph import ServingTrace
 from repro.workloads.models import ModelSpec, resolve_spec, resolve_trace, scaled_spec
 from repro.workloads.lowering import run_model
@@ -70,7 +77,10 @@ from repro.workloads.serving import run_serving
 #: computed under the approximation is stale at an *unchanged* spec hash --
 #: ModelSpec's new mask fields (``window``/``seq_lens``) are omitted from
 #: ``to_dict`` when defaulted, deliberately keeping unmasked hashes stable.
-CACHE_SCHEMA_VERSION = 7
+#: 8: fleet jobs joined the cache namespace (FleetJob hashes the resolved
+#: replica list, router policy/config and the seeded fault plan), and the
+#: "kind" discriminator grew a third value.
+CACHE_SCHEMA_VERSION = 8
 
 
 @dataclass(frozen=True)
@@ -175,6 +185,80 @@ class ServingJob:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+@dataclass(frozen=True)
+class FleetJob:
+    """One (trace, fleet, policy, fault plan) cell of a fleet chaos sweep.
+
+    ``fleet`` is a fleet-zoo name, a replica count or an explicit design
+    tuple; the content hash covers the *resolved* replica design list, so
+    ``"duo-virgo"`` and ``("virgo", "virgo")`` share a cache entry.
+    ``faults`` is the textual fault-plan spec (``"crash:0.5:200000"``);
+    hashing the parsed plan's canonical encoding (which folds in the seed)
+    means a reworded-but-identical spec still hits, while any change to a
+    rate, duration or the seed invalidates exactly its own cells.
+    """
+
+    trace: Union[str, ServingTrace]
+    fleet: Union[str, int, Sequence[str]] = 2
+    policy: str = "round-robin"
+    heterogeneous: bool = False
+    dtype: str = "fp16"
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    failover: bool = True
+
+    @cached_property
+    def resolved(self) -> ServingTrace:
+        """The resolved trace; zoo names are looked up once per job."""
+        return resolve_trace(self.trace) if isinstance(self.trace, str) else self.trace
+
+    @cached_property
+    def replica_designs(self) -> tuple:
+        """The resolved per-replica design names."""
+        return tuple(resolve_fleet_designs(self.fleet))
+
+    @cached_property
+    def fault_plan(self) -> Optional[FleetFaultPlan]:
+        """The parsed (and therefore validated) fault plan, or ``None``."""
+        if self.faults is None:
+            return None
+        return FleetFaultPlan.parse(self.faults, self.fault_seed)
+
+    @property
+    def label(self) -> str:
+        fleet = (
+            self.fleet
+            if isinstance(self.fleet, str)
+            else "x".join(self.replica_designs)
+        )
+        suffix = "+hetero" if self.heterogeneous else ""
+        if self.faults is not None:
+            suffix += f"+chaos{self.fault_seed}"
+        if not self.failover:
+            suffix += "+nofailover"
+        return f"fleet:{self.resolved.name}@{fleet}/{self.policy}{suffix}"
+
+    def key(self) -> str:
+        """Content hash identifying this job's result."""
+        # Resolving the policy here surfaces an unknown name at job-build
+        # time instead of inside a pool worker.
+        resolve_router_policy(self.policy, 0)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "kind": "fleet",
+            "trace": self.resolved.to_dict(),
+            "fleet": list(self.replica_designs),
+            "policy": self.policy,
+            "heterogeneous": self.heterogeneous,
+            "dtype": self.dtype.lower(),
+            "faults": self.fault_plan.to_dict() if self.fault_plan else None,
+            "failover": self.failover,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """A directory of ``<key>.json`` files storing model-run results."""
 
@@ -221,7 +305,7 @@ class ResultCache:
 class BatchOutcome:
     """One job's result plus where it came from."""
 
-    job: Union[BatchJob, "ServingJob"]
+    job: Union[BatchJob, "ServingJob", "FleetJob"]
     result: Dict[str, object]
     from_cache: bool
 
@@ -244,9 +328,22 @@ class BatchReport:
         return [outcome.result for outcome in self.outcomes]
 
 
-def _execute_job(job: Union[BatchJob, "ServingJob"]) -> Dict[str, object]:
+def _execute_job(
+    job: Union[BatchJob, "ServingJob", "FleetJob"]
+) -> Dict[str, object]:
     """Process-pool worker: run one job end to end, return the dict encoding."""
     dtype = DataType[job.dtype.upper()]
+    if isinstance(job, FleetJob):
+        config = RouterConfig() if job.failover else RouterConfig(failover=False)
+        return run_fleet(
+            job.resolved,
+            job.replica_designs,
+            heterogeneous=job.heterogeneous,
+            dtype=dtype,
+            policy=job.policy,
+            config=config,
+            faults=job.fault_plan,
+        ).to_dict()
     if isinstance(job, ServingJob):
         return run_serving(
             job.resolved,
@@ -269,12 +366,12 @@ def _seed_worker_cache(entries: Mapping[str, Any]) -> None:
 
 
 def run_batch(
-    jobs: Sequence[Union[BatchJob, ServingJob]],
+    jobs: Sequence[Union[BatchJob, ServingJob, FleetJob]],
     cache_dir: Union[str, Path, None] = None,
     max_workers: Optional[int] = None,
 ) -> BatchReport:
-    """Run ``jobs`` (model and/or serving), reusing cached results and
-    computing misses in parallel.
+    """Run ``jobs`` (model, serving and/or fleet), reusing cached results
+    and computing misses in parallel.
 
     ``cache_dir=None`` disables caching.  ``max_workers`` <= 1 runs misses
     inline (useful under test and on platforms without fork); otherwise the
@@ -292,7 +389,7 @@ def run_batch(
 
 
 def _run_batch(
-    jobs: Sequence[Union[BatchJob, ServingJob]],
+    jobs: Sequence[Union[BatchJob, ServingJob, FleetJob]],
     cache: Optional[ResultCache],
     max_workers: Optional[int],
 ) -> BatchReport:
@@ -431,6 +528,56 @@ def serving_sweep_jobs(
             for policy in policies
         ]
     )
+
+
+def fleet_sweep_jobs(
+    traces: Sequence[Union[str, ServingTrace]] = ("bursty-gpt",),
+    fleets: Sequence[Union[str, int, Sequence[str]]] = ("duo-virgo",),
+    policies: Sequence[str] = ("round-robin", "least-outstanding"),
+    fault_plans: Sequence[Optional[str]] = (None,),
+    fault_seed: int = 0,
+    heterogeneous: Union[bool, Sequence[bool]] = False,
+    failover: Union[bool, Sequence[bool]] = True,
+) -> List[FleetJob]:
+    """The (trace x fleet x policy x fault plan) chaos sweep as a job list.
+
+    Each cell routes one request stream across one replica fleet under one
+    router policy and one seeded fault plan, so a single sweep answers "which
+    policy holds goodput best under this failure mix" head-to-head on
+    identical load.  ``fault_plans`` entries are textual specs (``None`` for
+    the fault-free baseline); every faulted cell shares ``fault_seed`` so the
+    *same* chaos hits every policy.  Crossing ``failover`` flags pins the
+    failover-beats-no-failover comparison the CI chaos gate asserts.
+    Duplicate cells raise ``ValueError``; so do invalid fault specs and
+    unknown fleet or policy names -- at build time, not inside a pool worker.
+    """
+    flags = [heterogeneous] if isinstance(heterogeneous, bool) else list(heterogeneous)
+    failovers = [failover] if isinstance(failover, bool) else list(failover)
+    jobs = [
+        FleetJob(
+            trace=trace,
+            fleet=fleet,
+            policy=policy,
+            heterogeneous=flag,
+            faults=plan,
+            fault_seed=fault_seed,
+            failover=allow,
+        )
+        for trace in traces
+        for fleet in fleets
+        for policy in policies
+        for plan in fault_plans
+        for flag in flags
+        for allow in failovers
+    ]
+    for job in jobs:
+        # Force trace/fleet/plan resolution so a bad name or spec fails the
+        # sweep build with the offending cell's label attached.
+        try:
+            job.resolved, job.replica_designs, job.fault_plan
+        except (KeyError, ValueError) as error:
+            raise ValueError(f"invalid fleet sweep cell: {error}") from error
+    return _reject_duplicate_cells(jobs)
 
 
 def moe_sweep_jobs(

@@ -783,3 +783,30 @@ def resolve_trace(name: str) -> ServingTrace:
     except KeyError:
         valid = ", ".join(trace_names())
         raise KeyError(f"unknown trace {name!r}; choose one of: {valid}") from None
+
+
+#: Named fleet compositions for the replica router: each entry is the tuple
+#: of design preset names the fleet's replicas run, in replica-index order.
+#: Homogeneous fleets pin routing behavior; the mixed entries make
+#: heterogeneity a design-space axis (a volta replica is slower, so
+#: load-aware policies should visibly shift traffic off it).
+FLEET_ZOO: Dict[str, Tuple[str, ...]] = {
+    "duo-virgo": ("virgo", "virgo"),
+    "trio-virgo": ("virgo", "virgo", "virgo"),
+    "quad-virgo": ("virgo",) * 4,
+    "mixed-pair": ("virgo", "volta"),
+    "mixed-quad": ("virgo", "virgo", "hopper", "volta"),
+}
+
+
+def fleet_names() -> List[str]:
+    return sorted(FLEET_ZOO)
+
+
+def resolve_fleet(name: str) -> Tuple[str, ...]:
+    """Look up a fleet-zoo entry, raising with the valid names on a miss."""
+    try:
+        return FLEET_ZOO[name]
+    except KeyError:
+        valid = ", ".join(fleet_names())
+        raise KeyError(f"unknown fleet {name!r}; choose one of: {valid}") from None

@@ -73,6 +73,7 @@ from repro.workloads.control import (
     PolicyContext,
     SchedulingPolicy,
     evaluate_disposition,
+    request_kv_bytes,
     resolve_policy,
 )
 from repro.obs import CapturedSpans, MetricsRegistry, occupancy_percent, phase, trace_recorder
@@ -806,9 +807,82 @@ class ServingScheduler:
         back, the state streams in again over the DRAM channel -- capacity
         bytes over channel bandwidth, plus the channel latency.
         """
+        return self.kv_reload_penalty(entry.request, entry.steps_done, ctx.trace)
+
+    # -- External-driver hooks -------------------------------------------
+    #
+    # The fleet router (repro.workloads.fleet) steps replicas incrementally
+    # between fleet events instead of calling :meth:`run` once per trace.
+    # These hooks expose the scheduler's building blocks -- one iteration's
+    # outcome with memo replay, the KV reload cost a requeued request pays,
+    # and the batch's resident KV footprint -- without touching the main
+    # loop, so single-SoC serve runs stay byte-identical to their goldens.
+
+    def kv_reload_penalty(self, request: RequestSpec, steps_done: int, trace: ServingTrace) -> int:
+        """Cycles to stream the request's KV state back into HBM residency.
+
+        The cost a preempted request pays on re-admission, and the explicit
+        re-prefill cost a failed-over request pays on its new replica (the
+        crashed replica's KV is gone; the prompt-plus-progress state streams
+        in over the DRAM channel at its current bucketed context).
+        """
         dram = self.design.soc.dram
-        kv_bytes = ctx.kv_bytes(entry.request, entry.steps_done)
+        context = trace.bucketed_context(request.context_at(steps_done))
+        kv_bytes = request_kv_bytes(request.model, context, self.dtype)
         return int(math.ceil(kv_bytes / dram.bandwidth_bytes_per_cycle)) + dram.latency_cycles
+
+    def resident_kv_bytes(self, trace: ServingTrace, active: Sequence[_InFlight]) -> int:
+        """Total KV bytes resident for the active batch (router introspection)."""
+        return sum(
+            request_kv_bytes(
+                state.request.model,
+                trace.bucketed_context(state.request.context_at(state.steps_done)),
+                self.dtype,
+            )
+            for state in active
+        )
+
+    def iteration_outcome(
+        self,
+        trace: ServingTrace,
+        active: List[_InFlight],
+        duration_scale: float = 1.0,
+    ) -> Tuple[_IterationOutcome, bool]:
+        """One continuous-batching iteration for an external driver.
+
+        Computes the batch's contexts, unit packing and pending penalties,
+        consults the process-wide iteration memo, and returns ``(outcome,
+        replayed)``.  A scaled iteration (``duration_scale != 1`` -- the
+        slowdown-fault path) bypasses the memo in *both* directions, the
+        same no-cache-poisoning rule spiked iterations follow in
+        :meth:`run`.  The caller owns stat bookkeeping: on replay it should
+        credit ``outcome.cache_lookups`` back to the timing cache (times the
+        number of extrapolated repeats) so memoized and executing runs
+        report the same lookup totals.
+        """
+        contexts = [
+            trace.bucketed_context(state.request.context_at(state.steps_done))
+            for state in active
+        ]
+        units = self.iteration_units(trace, active, contexts)
+        penalties = [state.pending_penalty for state in active]
+        memo = (
+            _iteration_memo()
+            if self.iteration_memo and timing_cache().enabled and duration_scale == 1.0
+            else None
+        )
+        key = self._memo_key(contexts, active, units, penalties) if memo is not None else None
+        outcome = memo.get(key) if memo is not None else None
+        if outcome is not None:
+            return outcome, True
+        label = f"fleet:{trace.name}"
+        with phase("serving.iteration", batch=len(active)):
+            outcome = self._execute_iteration(
+                trace, active, contexts, units, label=label, duration_scale=duration_scale
+            )
+        if memo is not None:
+            memo[key] = outcome
+        return outcome, False
 
     def run(
         self,
